@@ -1,0 +1,84 @@
+"""Performance benchmark: incremental vs full evaluation under swaps.
+
+The optimization guide's loop — measure first, then compute less.  The
+refinement/metaheuristic hot path evaluates assignments differing by a
+single swap; the incremental evaluator repairs only the affected
+downstream region.  This bench quantifies the win (it grows with np and
+with smaller clusters).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import RandomClusterer
+from repro.core import (
+    Assignment,
+    ClusteredGraph,
+    IncrementalEvaluator,
+    total_time,
+)
+from repro.topology import hypercube
+from repro.workloads import layered_random_dag
+
+
+def _instance(num_tasks: int, seed: int = 0):
+    system = hypercube(4)
+    graph = layered_random_dag(num_tasks=num_tasks, rng=seed)
+    clustering = RandomClusterer(system.num_nodes).cluster(graph, rng=seed)
+    return ClusteredGraph(graph, clustering), system
+
+
+SWAPS = [(i % 16, (i * 7 + 3) % 16) for i in range(40)]
+SWAPS = [(a, b) for a, b in SWAPS if a != b]
+
+
+@pytest.mark.parametrize("num_tasks", [100, 300])
+def test_full_evaluation_swap_loop(benchmark, num_tasks):
+    clustered, system = _instance(num_tasks)
+    a = Assignment.random(system.num_nodes, rng=1)
+
+    def loop():
+        current = a
+        acc = 0
+        for x, y in SWAPS:
+            current = current.swapped(x, y)
+            acc += total_time(clustered, system, current)
+        return acc
+
+    result = benchmark(loop)
+    assert result > 0
+
+
+@pytest.mark.parametrize("num_tasks", [100, 300])
+def test_incremental_evaluation_swap_loop(benchmark, num_tasks):
+    clustered, system = _instance(num_tasks)
+    a = Assignment.random(system.num_nodes, rng=1)
+
+    def loop():
+        inc = IncrementalEvaluator(clustered, system, a)
+        acc = 0
+        for x, y in SWAPS:
+            acc += inc.swap(x, y)
+        return acc
+
+    result = benchmark(loop)
+    assert result > 0
+
+
+def test_equivalence_of_the_two_loops(benchmark):
+    """The two benchmark loops must produce identical makespan sums."""
+    clustered, system = _instance(150)
+    a = Assignment.random(system.num_nodes, rng=1)
+
+    def both():
+        current = a
+        full = []
+        for x, y in SWAPS:
+            current = current.swapped(x, y)
+            full.append(total_time(clustered, system, current))
+        inc = IncrementalEvaluator(clustered, system, a)
+        incremental = [inc.swap(x, y) for x, y in SWAPS]
+        return full, incremental
+
+    full, incremental = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert full == incremental

@@ -1,0 +1,68 @@
+"""Experiment E8: empirical complexity of the mapping pipeline.
+
+The paper (Sec. 4.3.3) bounds the algorithms at O(np^2) per evaluation
+and O(ns * np^2) for the whole refinement.  These benchmarks time the
+two building blocks directly so pytest-benchmark's report exposes the
+scaling, and the sweep artifact records seconds / (ns * np^2) staying
+roughly flat as np quadruples.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.clustering import RandomClusterer
+from repro.core import Assignment, ClusteredGraph, CriticalEdgeMapper, total_time
+from repro.experiments import run_scaling_study
+from repro.topology import hypercube
+from repro.workloads import layered_random_dag
+
+
+def _instance(num_tasks: int, dim: int, seed: int = 0):
+    system = hypercube(dim)
+    graph = layered_random_dag(num_tasks=num_tasks, rng=seed)
+    clustering = RandomClusterer(system.num_nodes).cluster(graph, rng=seed)
+    return ClusteredGraph(graph, clustering), system
+
+
+@pytest.mark.parametrize("num_tasks", [50, 100, 200, 400])
+def test_evaluation_scaling(benchmark, num_tasks):
+    """One total-time evaluation: the O(np^2) inner kernel."""
+    clustered, system = _instance(num_tasks, dim=3)
+    assignment = Assignment.random(system.num_nodes, rng=1)
+    result = benchmark(total_time, clustered, system, assignment)
+    assert result >= 0
+
+
+@pytest.mark.parametrize("num_tasks", [50, 100, 200])
+def test_full_mapping_scaling(benchmark, num_tasks):
+    """The whole pipeline: O(ns * np^2) per the paper."""
+    clustered, system = _instance(num_tasks, dim=3)
+    mapper = CriticalEdgeMapper(rng=1)
+    result = benchmark.pedantic(
+        mapper.map, args=(clustered, system), rounds=3, iterations=1
+    )
+    assert result.total_time >= result.lower_bound
+
+
+def test_scaling_sweep_artifact(benchmark, record_artifact):
+    records = benchmark.pedantic(
+        run_scaling_study, kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    body = [
+        (int(r["np"]), int(r["ns"]), f"{r['seconds']*1e3:.1f} ms",
+         f"{r['normalized']*1e9:.2f}")
+        for r in records
+    ]
+    table = render_table(
+        ["np", "ns", "mapping time", "ns*np^2-normalized (ns units)"],
+        body,
+        title="E8 — mapping time vs paper's O(ns*np^2) bound",
+    )
+    record_artifact("e8_scaling", table)
+    # The normalized constant must not blow up: compare largest vs
+    # smallest np at fixed ns (allow generous slack for constant factors).
+    by_ns: dict[int, list[float]] = {}
+    for r in records:
+        by_ns.setdefault(int(r["ns"]), []).append(r["normalized"])
+    for values in by_ns.values():
+        assert max(values) <= 25 * min(values)

@@ -1,0 +1,39 @@
+"""Experiment E6: the worked example (paper Figs. 2-6, 18-24).
+
+Regenerates the full pipeline narrative: the ideal graph of Fig. 6, the
+Sec. 3 matrices, and the final mapping of Fig. 24 that meets the lower
+bound of 14 with zero refinement trials.
+"""
+
+from repro.core import Assignment, collect_matrices
+from repro.experiments import format_worked_example, run_worked_example
+from repro.io import format_paper_matrices
+from repro.workloads import (
+    running_example_assignment_vector,
+    running_example_clustered,
+    running_example_system,
+)
+
+
+def test_worked_example(benchmark, record_artifact):
+    report = benchmark.pedantic(run_worked_example, rounds=1, iterations=1)
+    record_artifact("fig2_6_24_worked_example", format_worked_example(report))
+    assert report.all_milestones_pass
+    assert report.result.total_time == 14
+    assert report.refinement_trials == 0
+
+
+def test_paper_matrices_dump(benchmark, record_artifact):
+    """Figs. 18-23: the complete internal-representation bundle."""
+    matrices = benchmark.pedantic(
+        collect_matrices,
+        args=(
+            running_example_clustered(),
+            running_example_system(),
+            Assignment(running_example_assignment_vector()),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("fig18_23_matrices", format_paper_matrices(matrices))
+    assert matrices.c_abs_edge[0, -1] == 9  # Fig. 20-b's critical degree

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered artifact is written to ``benchmarks/results/<name>.txt`` (and
+echoed to stdout when pytest runs with ``-s``) so the regeneration
+evidence survives the run; the timing numbers land in pytest-benchmark's
+own report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(results_dir):
+    """Write a named artifact; returns the path for further inspection."""
+
+    def _record(name: str, content: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(content + "\n")
+        print(f"\n[artifact -> {path}]\n{content}")
+        return path
+
+    return _record

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Map a Gaussian-elimination DAG onto a processor mesh.
+
+The paper's reference [11] (Cosnard et al.) studies parallel Gaussian
+elimination on MIMD machines; this example builds that dependence DAG,
+compares several clusterings, maps each with the critical-edge strategy,
+and cross-checks the analytic makespan against the discrete-event
+simulator in all fidelity modes.
+
+Run:  python examples/gaussian_elimination_mesh.py
+"""
+
+from repro.analysis import render_table
+from repro.clustering import (
+    BandClusterer,
+    EdgeZeroClusterer,
+    LinearClusterer,
+    LoadBalanceClusterer,
+    RandomClusterer,
+)
+from repro.core import ClusteredGraph, CriticalEdgeMapper
+from repro.sim import SimConfig, simulate
+from repro.topology import mesh2d
+from repro.workloads import gaussian_elimination_dag
+
+SEED = 11
+
+
+def main() -> None:
+    graph = gaussian_elimination_dag(matrix_size=14, flop_cost=2, word_cost=1)
+    system = mesh2d(3, 3)
+    print(f"workload : {graph} (critical path {graph.critical_path_length()})")
+    print(f"machine  : {system}")
+    print()
+
+    clusterers = [
+        RandomClusterer(system.num_nodes),
+        BandClusterer(system.num_nodes),
+        LoadBalanceClusterer(system.num_nodes),
+        LinearClusterer(system.num_nodes),
+        EdgeZeroClusterer(system.num_nodes),
+    ]
+    rows = []
+    for clusterer in clusterers:
+        clustering = clusterer.cluster(graph, rng=SEED)
+        clustered = ClusteredGraph(graph, clustering)
+        result = CriticalEdgeMapper(rng=SEED).map(clustered, system)
+
+        # Cross-check with the simulator: the contention-free run must
+        # equal the analytic makespan; the other modes show how much the
+        # 1991 model under-reports on a more realistic machine.
+        paper_sim = simulate(clustered, system, result.assignment)
+        assert paper_sim.makespan == result.total_time
+        serial = simulate(
+            clustered, system, result.assignment,
+            SimConfig(serialize_processors=True),
+        )
+        contention = simulate(
+            clustered, system, result.assignment,
+            SimConfig(serialize_processors=True, link_contention=True),
+        )
+        rows.append(
+            (
+                type(clusterer).__name__,
+                clustered.cut_weight(),
+                result.lower_bound,
+                result.total_time,
+                f"{result.percent_over_lower_bound():.0f}%",
+                serial.makespan,
+                contention.makespan,
+            )
+        )
+
+    print(
+        render_table(
+            [
+                "clusterer",
+                "cut",
+                "lower bound",
+                "mapped",
+                "% of bound",
+                "serialized",
+                "ser+contention",
+            ],
+            rows,
+            title="Gaussian elimination (14x14) on a 3x3 mesh",
+        )
+    )
+    print()
+    print(
+        "Linear/edge-zero clusterings absorb the heavy column broadcasts, so\n"
+        "their lower bounds (and mapped times) beat structure-blind random\n"
+        "clustering; the serialized/contention columns show the extra cost a\n"
+        "real machine would add on top of the paper's model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Beyond 1991: heterogeneous links and serialized processors.
+
+Two library extensions layered on the paper's pipeline:
+
+1. **Weighted links** — a machine whose backbone links are fast (cost 1)
+   but whose last-mile links are slow (cost 3).  The mapping strategy
+   consumes the weighted distance matrix transparently; the schedule
+   routes around the slow links where it matters.
+2. **Serialized list scheduling** — the paper's model lets same-processor
+   tasks overlap; the analytic list scheduler (`fifo` and `blevel`
+   policies) shows what each mapping costs on one-task-at-a-time
+   processors, without firing up the event simulator.
+
+Run:  python examples/heterogeneous_machine.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.clustering import LoadBalanceClusterer
+from repro.core import ClusteredGraph, CriticalEdgeMapper, list_schedule
+from repro.topology import SystemGraph
+from repro.workloads import fork_join_dag
+
+SEED = 21
+
+
+def hub_and_spoke_machine() -> SystemGraph:
+    """Six nodes: a fast triangle core (0,1,2) + slow spokes (3,4,5)."""
+    n = 6
+    adj = np.zeros((n, n), dtype=int)
+    weights = np.zeros((n, n), dtype=int)
+    core = [(0, 1), (1, 2), (0, 2)]
+    spokes = [(0, 3), (1, 4), (2, 5)]
+    for u, v in core:
+        adj[u, v] = 1
+        weights[u, v] = 1  # fast backbone
+    for u, v in spokes:
+        adj[u, v] = 1
+        weights[u, v] = 3  # slow last mile
+    return SystemGraph(adj, name="hub-spoke-6", link_weights=weights)
+
+
+def main() -> None:
+    system = hub_and_spoke_machine()
+    print(f"machine: {system} (weighted: {system.is_weighted})")
+    print(f"distance matrix:\n{system.shortest}")
+    print()
+
+    graph = fork_join_dag(width=10, stages=3, task_size=4, comm=2)
+    clustering = LoadBalanceClusterer(system.num_nodes).cluster(graph, rng=SEED)
+    clustered = ClusteredGraph(graph, clustering)
+    result = CriticalEdgeMapper(rng=SEED).map(clustered, system)
+
+    print(f"workload    : {graph}")
+    print(f"lower bound : {result.lower_bound}")
+    print(
+        f"mapped      : {result.total_time} "
+        f"({result.percent_over_lower_bound():.0f}% of the bound)"
+    )
+    print()
+
+    rows = []
+    spans = {}
+    for policy in ("fifo", "blevel"):
+        ls = list_schedule(clustered, system, result.assignment, policy=policy)
+        spans[policy] = ls.makespan
+        rows.append((policy, ls.makespan, f"{ls.makespan / result.total_time:.2f}x"))
+    print(
+        render_table(
+            ["list policy", "serialized makespan", "vs paper model"],
+            rows,
+            title="Serialized execution of the same mapping",
+        )
+    )
+    print()
+    if spans["blevel"] < spans["fifo"]:
+        print(
+            "The blevel (critical-path-first) policy recovers part of the\n"
+            "serialization penalty that FIFO dispatching leaves on the table."
+        )
+    else:
+        print(
+            "On this instance FIFO already dispatches the critical work\n"
+            "first, so the blevel priority cannot improve on it — the gap\n"
+            "to the paper-model makespan is pure serialization cost."
+        )
+
+
+if __name__ == "__main__":
+    main()

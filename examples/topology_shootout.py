@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Topology shootout: one workload, every machine shape.
+
+Maps the same FFT butterfly program onto eight 16-node topologies and
+reports how far each lands from the (topology-independent) lower bound —
+the kind of architecture comparison the mapping strategy was built for.
+
+Run:  python examples/topology_shootout.py
+"""
+
+from repro.analysis import render_table
+from repro.baselines import average_random_mapping
+from repro.clustering import BandClusterer
+from repro.core import ClusteredGraph, CriticalEdgeMapper
+from repro.topology import (
+    binary_tree,
+    chain,
+    complete,
+    de_bruijn,
+    hypercube,
+    mesh2d,
+    random_connected,
+    ring,
+    torus2d,
+)
+from repro.workloads import fft_dag
+
+SEED = 5
+
+
+def main() -> None:
+    graph = fft_dag(points_log2=4, task_size=3, comm=2)  # 5 stages x 16 tasks
+    clustering = BandClusterer(num_clusters=16).cluster(graph, rng=SEED)
+    clustered = ClusteredGraph(graph, clustering)
+    print(f"workload: {graph}")
+    print()
+
+    machines = [
+        complete(16),
+        hypercube(4),
+        de_bruijn(4),
+        torus2d(4, 4),
+        mesh2d(4, 4),
+        random_connected(16, extra_edge_prob=0.15, rng=SEED),
+        ring(16),
+        binary_tree(4),  # 15 nodes won't match na=16 -> skipped below
+        chain(16),
+    ]
+    rows = []
+    for system in machines:
+        if system.num_nodes != clustered.num_clusters:
+            continue  # the mapping stage requires na == ns
+        result = CriticalEdgeMapper(rng=SEED).map(clustered, system)
+        random_stats = average_random_mapping(clustered, system, samples=20, rng=SEED)
+        rows.append(
+            (
+                system.name,
+                system.diameter(),
+                f"{system.average_distance():.2f}",
+                result.total_time,
+                f"{result.percent_over_lower_bound():.0f}%",
+                f"{100 * random_stats.mean_total_time / result.lower_bound:.0f}%",
+                "yes" if result.is_provably_optimal else "no",
+            )
+        )
+
+    print(
+        render_table(
+            ["topology", "diam", "avg dist", "mapped", "ours %", "random %", "hit bound"],
+            rows,
+            title=f"FFT-16 on 16-node machines (lower bound {result.lower_bound})",
+        )
+    )
+    print()
+    print(
+        "Richer topologies (complete, hypercube, de Bruijn, torus) keep the\n"
+        "butterfly's exchange partners adjacent and stay near the bound; the\n"
+        "ring and chain cannot, and the gap over random mapping narrows as\n"
+        "the topology's average distance dominates every assignment."
+    )
+
+
+if __name__ == "__main__":
+    main()

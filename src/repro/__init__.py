@@ -1,0 +1,63 @@
+"""repro — critical-edge mapping of parallel programs onto MIMD machines.
+
+A production-quality reproduction of Yang, Bic & Nicolau, *A Mapping
+Strategy for MIMD Computers* (UC Irvine ICS TR 91-35 / ICPP 1991).
+
+Quickstart::
+
+    from repro import map_graph
+    from repro.workloads import layered_random_dag
+    from repro.clustering import RandomClusterer
+    from repro.topology import hypercube
+
+    graph = layered_random_dag(num_tasks=120, rng=7)
+    clustering = RandomClusterer(num_clusters=16).cluster(graph, rng=7)
+    result = map_graph(graph, clustering, hypercube(4), rng=7)
+    print(result.total_time, result.lower_bound, result.is_provably_optimal)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core import (
+    AbstractGraph,
+    Assignment,
+    ClusteredGraph,
+    Clustering,
+    CriticalEdgeMapper,
+    CriticalityAnalysis,
+    IdealSchedule,
+    MappingResult,
+    Schedule,
+    TaskGraph,
+    analyze_criticality,
+    evaluate_assignment,
+    ideal_schedule,
+    lower_bound,
+    map_graph,
+    total_time,
+)
+from .topology import SystemGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractGraph",
+    "Assignment",
+    "ClusteredGraph",
+    "Clustering",
+    "CriticalEdgeMapper",
+    "CriticalityAnalysis",
+    "IdealSchedule",
+    "MappingResult",
+    "Schedule",
+    "SystemGraph",
+    "TaskGraph",
+    "__version__",
+    "analyze_criticality",
+    "evaluate_assignment",
+    "ideal_schedule",
+    "lower_bound",
+    "map_graph",
+    "total_time",
+]

@@ -1,0 +1,66 @@
+"""ASCII histograms in the style of the paper's Figs. 25-27.
+
+Each experiment is a vertical dashed bar whose lower end is the proposed
+mapping's percent-over-lower-bound and whose upper end is the random
+mapping's — exactly how the paper visualizes Tables 1-3:
+
+::
+
+    190 |        :
+    180 |        :   :
+    170 |        :   :
+    ...
+    110 |    |   :   :
+    100 +--*-+---+---+----
+          1   2   3   4   (experiments)
+
+``*`` marks runs that hit the lower bound exactly (termination condition
+fired).
+"""
+
+from __future__ import annotations
+
+from .stats import ExperimentRow
+
+__all__ = ["render_histogram"]
+
+
+def render_histogram(
+    rows: list[ExperimentRow],
+    title: str,
+    step: int = 10,
+) -> str:
+    """Render the Fig. 25/26/27-style range histogram.
+
+    Parameters
+    ----------
+    step:
+        Vertical resolution in percentage points per text row.
+    """
+    if not rows:
+        raise ValueError("no experiments to plot")
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    top = max(max(r.random_pct for r in rows), 110.0)
+    top = int(-(-top // step) * step)  # round up to a grid line
+
+    lines = [title]
+    for level in range(top, 100, -step):
+        cells = []
+        for r in rows:
+            lo, hi = r.ours_pct, r.random_pct
+            # A bar row is drawn when the dashed range covers this band.
+            band_lo, band_hi = level - step, level
+            if lo < band_hi and hi > band_lo:
+                cells.append("|" if lo >= band_lo else ":")
+            else:
+                cells.append(" ")
+        lines.append(f"{level:4d} | " + "   ".join(cells))
+    base = []
+    for r in rows:
+        base.append("*" if r.reached_lower_bound else "-")
+    lines.append(" 100 +-" + "---".join(base) + "-")
+    labels = "       " + "   ".join(f"{r.index:<1d}"[:1] for r in rows)
+    lines.append(labels + "   (experiments; * = hit lower bound)")
+    lines.append("ours = lower end of each bar, random mapping = upper end")
+    return "\n".join(lines)

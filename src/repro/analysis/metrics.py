@@ -1,0 +1,103 @@
+"""Schedule quality metrics beyond the paper's single total-time number.
+
+The paper reports only the makespan ratio; downstream users of a mapping
+library want the standard parallel-performance vocabulary too.  All
+metrics are derived from a :class:`~repro.core.evaluate.Schedule` (the
+paper's model) and are exact under it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.evaluate import Schedule
+
+__all__ = ["ScheduleMetrics", "compute_metrics", "format_metrics"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Standard parallel metrics for one mapped schedule.
+
+    Attributes
+    ----------
+    makespan:
+        Total time (the paper's objective).
+    total_work:
+        Sum of task sizes (serial time with zero communication).
+    speedup:
+        ``total_work / makespan`` — how much faster than one processor
+        executing the bare work.
+    efficiency:
+        ``speedup / processors``.
+    avg_utilization:
+        Mean busy fraction across processors.
+    load_imbalance:
+        ``max(busy) / mean(busy) - 1`` (0 = perfectly balanced).
+    comm_volume:
+        Hop-weighted communication (sum of the ``comm`` matrix).
+    comm_to_comp:
+        ``comm_volume / total_work``.
+    stretched_edges:
+        Number of inter-cluster problem edges whose message crossed more
+        than one system link.
+    """
+
+    makespan: int
+    total_work: int
+    speedup: float
+    efficiency: float
+    avg_utilization: float
+    load_imbalance: float
+    comm_volume: int
+    comm_to_comp: float
+    stretched_edges: int
+
+
+def compute_metrics(schedule: Schedule) -> ScheduleMetrics:
+    """Derive all metrics from one schedule."""
+    clustered = schedule.clustered
+    total_work = int(clustered.task_sizes.sum())
+    processors = schedule.system.num_nodes
+    busy = schedule.processor_busy_time().astype(np.float64)
+    makespan = schedule.total_time
+
+    speedup = total_work / makespan if makespan else 0.0
+    mean_busy = busy.mean() if busy.size else 0.0
+    imbalance = (busy.max() / mean_busy - 1.0) if mean_busy > 0 else 0.0
+
+    clus = clustered.clus_edge
+    stretched = int(((schedule.comm > clus) & (clus > 0)).sum())
+
+    return ScheduleMetrics(
+        makespan=makespan,
+        total_work=total_work,
+        speedup=speedup,
+        efficiency=speedup / processors if processors else 0.0,
+        avg_utilization=float(busy.sum() / (processors * makespan))
+        if makespan
+        else 0.0,
+        load_imbalance=float(imbalance),
+        comm_volume=int(schedule.comm.sum()),
+        comm_to_comp=float(schedule.comm.sum() / total_work) if total_work else 0.0,
+        stretched_edges=stretched,
+    )
+
+
+def format_metrics(metrics: ScheduleMetrics) -> str:
+    """One-fact-per-line report."""
+    return "\n".join(
+        [
+            f"makespan          : {metrics.makespan}",
+            f"total work        : {metrics.total_work}",
+            f"speedup           : {metrics.speedup:.2f}",
+            f"efficiency        : {metrics.efficiency:.2%}",
+            f"avg utilization   : {metrics.avg_utilization:.2%}",
+            f"load imbalance    : {metrics.load_imbalance:.2%}",
+            f"comm volume (hops): {metrics.comm_volume}",
+            f"comm / comp       : {metrics.comm_to_comp:.2f}",
+            f"stretched edges   : {metrics.stretched_edges}",
+        ]
+    )

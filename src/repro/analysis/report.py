@@ -1,0 +1,58 @@
+"""Consolidated mapping report: everything about one result in one string.
+
+Bundles the bound/quality summary, parallel metrics, embedding quality,
+and (optionally) the Gantt chart for a
+:class:`~repro.core.mapper.MappingResult` — the "show me everything"
+call for interactive use and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..topology.embedding import analyze_embedding
+from .gantt import render_gantt
+from .metrics import compute_metrics, format_metrics
+
+if TYPE_CHECKING:
+    from ..core.mapper import MappingResult
+
+__all__ = ["mapping_report"]
+
+
+def mapping_report(result: "MappingResult", include_gantt: bool = False) -> str:
+    """Render the full report for one mapping result."""
+    lines = [
+        "=== Mapping report ===",
+        f"workload        : {result.clustered.graph.name} "
+        f"({result.clustered.num_tasks} tasks, "
+        f"{result.clustered.graph.num_edges} edges)",
+        f"clusters        : {result.clustered.num_clusters} "
+        f"(cut weight {result.clustered.cut_weight()})",
+        f"machine         : {result.system.name} "
+        f"({result.system.num_nodes} nodes, diameter {result.system.diameter()})",
+        "",
+        f"lower bound     : {result.lower_bound}",
+        f"initial mapping : {result.initial_total_time}",
+        f"final mapping   : {result.total_time} "
+        f"({result.percent_over_lower_bound():.1f}% of the bound)",
+        f"refinement      : {result.refinement.trials} trials, "
+        f"improved: {result.refinement.improved}",
+        f"provably optimal: {result.is_provably_optimal}",
+        f"assignment      : {result.assignment.assi.tolist()}",
+        "",
+        "--- parallel metrics (paper model) ---",
+        format_metrics(compute_metrics(result.schedule)),
+        "",
+        "--- embedding quality ---",
+        str(analyze_embedding(result.abstract, result.system, result.assignment)),
+        "",
+        "--- critical structure ---",
+        f"critical abstract edges : "
+        f"{result.analysis.critical_abstract_edges()}",
+        f"critical degrees        : "
+        f"{result.analysis.critical_degree.tolist()}",
+    ]
+    if include_gantt:
+        lines += ["", "--- schedule ---", render_gantt(result.schedule, max_rows=60)]
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Experiment statistics: the paper's reporting metrics.
+
+Sec. 5 normalizes every run by its lower bound: the tables report
+``100 * total_time / lower_bound`` for the proposed strategy and for the
+averaged random mapping, and the *improvement* column is their
+difference in percentage points.  :class:`ExperimentRow` captures one
+table row; :func:`summarize_rows` aggregates a table the way the paper's
+prose does (ranges, and how often the termination condition fired).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ExperimentRow", "TableSummary", "percent_over_bound", "summarize_rows"]
+
+
+def percent_over_bound(total_time: float, lower_bound: int) -> float:
+    """The paper's normalization: percentage of the lower bound (100 = met)."""
+    if lower_bound <= 0:
+        raise ValueError("lower bound must be positive")
+    return 100.0 * total_time / lower_bound
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row of a Table 1/2/3-style experiment."""
+
+    index: int
+    num_tasks: int
+    num_processors: int
+    topology: str
+    lower_bound: int
+    our_total_time: int
+    random_mean_total_time: float
+    reached_lower_bound: bool
+
+    @property
+    def ours_pct(self) -> float:
+        """Column 2 of the paper's tables (ours, % of lower bound)."""
+        return percent_over_bound(self.our_total_time, self.lower_bound)
+
+    @property
+    def random_pct(self) -> float:
+        """Column 3 (random mapping, % of lower bound)."""
+        return percent_over_bound(self.random_mean_total_time, self.lower_bound)
+
+    @property
+    def improvement(self) -> float:
+        """Column 4: random minus ours, in percentage points."""
+        return self.random_pct - self.ours_pct
+
+
+@dataclass(frozen=True)
+class TableSummary:
+    """Aggregates the paper quotes in its prose."""
+
+    rows: int
+    ours_pct_min: float
+    ours_pct_max: float
+    random_pct_min: float
+    random_pct_max: float
+    improvement_min: float
+    improvement_max: float
+    improvement_mean: float
+    lower_bound_hits: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rows} experiments: ours {self.ours_pct_min:.0f}-"
+            f"{self.ours_pct_max:.0f}% of bound, random {self.random_pct_min:.0f}-"
+            f"{self.random_pct_max:.0f}%, improvement {self.improvement_min:.0f}-"
+            f"{self.improvement_max:.0f} points (mean {self.improvement_mean:.0f}), "
+            f"{self.lower_bound_hits}/{self.rows} hit the lower bound"
+        )
+
+
+def summarize_rows(rows: list[ExperimentRow]) -> TableSummary:
+    """Min/max/mean statistics over one experiment table."""
+    if not rows:
+        raise ValueError("cannot summarize an empty table")
+    ours = np.asarray([r.ours_pct for r in rows])
+    rand = np.asarray([r.random_pct for r in rows])
+    imp = rand - ours
+    return TableSummary(
+        rows=len(rows),
+        ours_pct_min=float(ours.min()),
+        ours_pct_max=float(ours.max()),
+        random_pct_min=float(rand.min()),
+        random_pct_max=float(rand.max()),
+        improvement_min=float(imp.min()),
+        improvement_max=float(imp.max()),
+        improvement_mean=float(imp.mean()),
+        lower_bound_hits=sum(r.reached_lower_bound for r in rows),
+    )

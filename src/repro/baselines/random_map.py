@@ -1,0 +1,77 @@
+"""Random mapping — the paper's comparison baseline (Sec. 5).
+
+The paper compares its strategy against *random mapping*, averaging
+several random assignments of the same instance to tame variance
+("we performed several random mappings of the same problem graph to the
+same system graph and take the average of the total times").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.assignment import Assignment
+from ..core.clustered import ClusteredGraph
+from ..core.evaluate import total_time
+from ..topology.base import SystemGraph
+from ..utils import as_rng
+
+__all__ = ["RandomMappingStats", "random_mapping", "average_random_mapping"]
+
+
+@dataclass(frozen=True)
+class RandomMappingStats:
+    """Statistics over repeated random mappings of one instance."""
+
+    samples: int
+    mean_total_time: float
+    best_total_time: int
+    worst_total_time: int
+    best_assignment: Assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RandomMappingStats(samples={self.samples}, "
+            f"mean={self.mean_total_time:.1f}, best={self.best_total_time}, "
+            f"worst={self.worst_total_time})"
+        )
+
+
+def random_mapping(
+    clustered: ClusteredGraph,
+    system: SystemGraph,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[Assignment, int]:
+    """One uniformly random assignment and its total time."""
+    assignment = Assignment.random(system.num_nodes, rng=rng)
+    return assignment, total_time(clustered, system, assignment)
+
+
+def average_random_mapping(
+    clustered: ClusteredGraph,
+    system: SystemGraph,
+    samples: int = 20,
+    rng: int | np.random.Generator | None = None,
+) -> RandomMappingStats:
+    """Average total time over ``samples`` random assignments (paper Sec. 5)."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    gen = as_rng(rng)
+    times = np.empty(samples, dtype=np.int64)
+    best: Assignment | None = None
+    best_time = np.iinfo(np.int64).max
+    for i in range(samples):
+        assignment, t = random_mapping(clustered, system, rng=gen)
+        times[i] = t
+        if t < best_time:
+            best, best_time = assignment, t
+    assert best is not None
+    return RandomMappingStats(
+        samples=samples,
+        mean_total_time=float(times.mean()),
+        best_total_time=int(times.min()),
+        worst_total_time=int(times.max()),
+        best_assignment=best,
+    )

@@ -1,0 +1,240 @@
+"""Command-line interface: regenerate every table and figure of the paper.
+
+::
+
+    mimdmap table1 [--seed N] [--rows K]     # Table 1 + Fig. 25 (hypercubes)
+    mimdmap table2 [--seed N] [--rows K]     # Table 2 + Fig. 26 (meshes)
+    mimdmap table3 [--seed N] [--rows K]     # Table 3 + Fig. 27 (random)
+    mimdmap example                          # worked example, Figs. 2-6/18-24
+    mimdmap counterexamples                  # Sec. 2.2, Figs. 7-17 (exhaustive)
+    mimdmap ablations [--seed N]             # A1-A3, A5 summaries
+    mimdmap matrices                         # Sec. 3 matrix dump for the example
+    mimdmap sensitivity [--seed N]           # workload-knob sensitivity sweeps
+    mimdmap map --tasks N --topology F --size K  # one-off mapping + report
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mimdmap",
+        description=(
+            "Reproduction of 'A Mapping Strategy for MIMD Computers' "
+            "(Yang, Bic & Nicolau, ICPP 1991)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for num in (1, 2, 3):
+        p = sub.add_parser(f"table{num}", help=f"regenerate Table {num} and its figure")
+        p.add_argument("--seed", type=int, default=1991, help="experiment RNG seed")
+        p.add_argument("--rows", type=int, default=None, help="number of experiments")
+        p.add_argument(
+            "--no-figure", action="store_true", help="omit the histogram figure"
+        )
+
+    sub.add_parser("example", help="run the worked example (Figs. 2-6, 18-24)")
+    sub.add_parser(
+        "counterexamples",
+        help="prove the Sec. 2.2 counterexamples by exhaustive search",
+    )
+    p = sub.add_parser("ablations", help="run ablations A1-A3 and A5")
+    p.add_argument("--seed", type=int, default=7)
+    sub.add_parser("matrices", help="print the Sec. 3 matrices of the worked example")
+
+    p = sub.add_parser("sensitivity", help="workload-knob sensitivity sweeps")
+    p.add_argument("--seed", type=int, default=5)
+
+    p = sub.add_parser("map", help="map one random workload and print the report")
+    p.add_argument("--tasks", type=int, default=80, help="problem graph size np")
+    p.add_argument(
+        "--topology",
+        default="hypercube",
+        help="topology family (hypercube, mesh, torus, ring, chain, star, "
+        "complete, random)",
+    )
+    p.add_argument("--size", type=int, default=8, help="system graph size ns")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--clusterer",
+        default="random",
+        choices=["random", "band", "load", "linear", "edgezero", "dsc"],
+        help="clustering algorithm for the np -> na step",
+    )
+    p.add_argument("--gantt", action="store_true", help="print the schedule chart")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command: str = args.command
+
+    if command in ("table1", "table2", "table3"):
+        _run_table(int(command[-1]), args)
+    elif command == "example":
+        _run_example()
+    elif command == "counterexamples":
+        _run_counterexamples()
+    elif command == "ablations":
+        _run_ablations(args.seed)
+    elif command == "matrices":
+        _run_matrices()
+    elif command == "sensitivity":
+        _run_sensitivity(args.seed)
+    elif command == "map":
+        _run_map(args)
+    else:  # pragma: no cover - argparse guards this
+        raise SystemExit(f"unknown command {command!r}")
+    return 0
+
+
+def _run_table(number: int, args: argparse.Namespace) -> None:
+    from .experiments import (
+        format_figure,
+        format_table,
+        run_table1,
+        run_table2,
+        run_table3,
+    )
+
+    runner = {1: run_table1, 2: run_table2, 3: run_table3}[number]
+    kwargs = {} if args.rows is None else {"rows": args.rows}
+    rows = runner(rng=args.seed, **kwargs)
+    print(format_table(rows, number))
+    if not args.no_figure:
+        print()
+        print(format_figure(rows, 24 + number))
+
+
+def _run_example() -> None:
+    from .experiments import format_worked_example, run_worked_example
+
+    print(format_worked_example(run_worked_example()))
+
+
+def _run_counterexamples() -> None:
+    from .experiments import (
+        format_counterexample,
+        run_bokhari_counterexample,
+        run_lee_counterexample,
+    )
+
+    print(format_counterexample(run_bokhari_counterexample()))
+    print()
+    print(format_counterexample(run_lee_counterexample()))
+
+
+def _run_ablations(seed: int) -> None:
+    from .analysis import render_table
+    from .experiments import (
+        run_baseline_comparison,
+        run_exchange_ablation,
+        run_guidance_ablation,
+        run_refinement_ablation,
+    )
+
+    studies = [
+        ("A1 — initial assignment vs + refinement", run_refinement_ablation),
+        ("A2 — critical guidance on/off", run_guidance_ablation),
+        ("A3 — random replacement vs pairwise exchange", run_exchange_ablation),
+        ("A5 — all mappers, total time (% of lower bound)", run_baseline_comparison),
+    ]
+    for title, runner in studies:
+        rows = runner(rng=seed)
+        variants = list(rows[0].values)
+        body = [
+            [row.instance]
+            + [f"{100 * row.values[v] / row.lower_bound:.0f}%" for v in variants]
+            for row in rows
+        ]
+        print(render_table(["instance"] + variants, body, title=title))
+        print()
+
+
+def _run_matrices() -> None:
+    from .core import Assignment, collect_matrices
+    from .io import format_paper_matrices
+    from .workloads import (
+        running_example_assignment_vector,
+        running_example_clustered,
+        running_example_system,
+    )
+
+    clustered = running_example_clustered()
+    system = running_example_system()
+    assignment = Assignment(running_example_assignment_vector())
+    print(format_paper_matrices(collect_matrices(clustered, system, assignment)))
+
+
+def _run_sensitivity(seed: int) -> None:
+    from .experiments import (
+        format_sweep,
+        sweep_comm_ratio,
+        sweep_edge_density,
+        sweep_problem_size,
+    )
+
+    print(format_sweep(sweep_comm_ratio(rng=seed), "Communication weight ceiling"))
+    print()
+    print(format_sweep(sweep_edge_density(rng=seed), "DAG density (extra edges/task)"))
+    print()
+    print(format_sweep(sweep_problem_size(rng=seed), "Problem size np"))
+
+
+def _run_map(args: argparse.Namespace) -> None:
+    from .analysis import compute_metrics, format_metrics, render_gantt
+    from .clustering import (
+        BandClusterer,
+        DscClusterer,
+        EdgeZeroClusterer,
+        LinearClusterer,
+        LoadBalanceClusterer,
+        RandomClusterer,
+    )
+    from .core import map_graph
+    from .topology import by_name
+    from .workloads import layered_random_dag
+
+    clusterers = {
+        "random": RandomClusterer,
+        "band": BandClusterer,
+        "load": LoadBalanceClusterer,
+        "linear": LinearClusterer,
+        "edgezero": EdgeZeroClusterer,
+        "dsc": DscClusterer,
+    }
+    system = by_name(args.topology, args.size, rng=args.seed)
+    graph = layered_random_dag(num_tasks=args.tasks, rng=args.seed)
+    clustering = clusterers[args.clusterer](system.num_nodes).cluster(
+        graph, rng=args.seed
+    )
+    result = map_graph(graph, clustering, system, rng=args.seed)
+
+    print(f"workload   : {graph}")
+    print(f"machine    : {system}")
+    print(f"clusterer  : {args.clusterer}")
+    print(f"lower bound: {result.lower_bound}")
+    print(
+        f"mapped     : {result.total_time} "
+        f"({result.percent_over_lower_bound():.1f}% of the bound, "
+        f"optimal: {result.is_provably_optimal})"
+    )
+    print(f"assignment : {result.assignment.assi.tolist()}")
+    print()
+    print(format_metrics(compute_metrics(result.schedule)))
+    if args.gantt:
+        print()
+        print(render_gantt(result.schedule, max_rows=60))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

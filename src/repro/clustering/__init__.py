@@ -1,0 +1,27 @@
+"""Clustering substrate: partitioning task graphs into ``na`` clusters."""
+
+from .base import Clusterer, rebalance_empty_clusters, validate_request
+from .dsc import DscClusterer
+from .edge_zero import EdgeZeroClusterer
+from .linear import LinearClusterer
+from .load_balance import LoadBalanceClusterer
+from .simple import (
+    BandClusterer,
+    BlockClusterer,
+    RandomClusterer,
+    RoundRobinClusterer,
+)
+
+__all__ = [
+    "BandClusterer",
+    "BlockClusterer",
+    "Clusterer",
+    "DscClusterer",
+    "EdgeZeroClusterer",
+    "LinearClusterer",
+    "LoadBalanceClusterer",
+    "RandomClusterer",
+    "RoundRobinClusterer",
+    "rebalance_empty_clusters",
+    "validate_request",
+]

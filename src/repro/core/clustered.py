@@ -1,0 +1,211 @@
+"""Clusterings and the clustered problem graph.
+
+The paper's first scheduling step groups the ``np`` problem nodes into
+``na`` clusters (``na == ns``) and *removes the communication weight* of
+every edge whose endpoints fall in the same cluster — precedence is kept,
+cost becomes zero (Sec. 1, Sec. 2.1, Fig. 3).  The result is the
+*clustered problem graph* ``Gc`` with edge matrix ``clus_edge`` (Fig. 19-a)
+and cluster membership table ``clus_pnode`` (Fig. 19-b).
+
+:class:`Clustering` is a plain partition (cluster id per task);
+:class:`ClusteredGraph` binds a :class:`~repro.core.taskgraph.TaskGraph`
+to a :class:`Clustering` and exposes the derived matrices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..utils import GraphError
+from .taskgraph import TaskGraph
+
+__all__ = ["Clustering", "ClusteredGraph"]
+
+
+class Clustering:
+    """A partition of tasks ``0..np-1`` into clusters ``0..na-1``.
+
+    Parameters
+    ----------
+    labels:
+        ``labels[task] = cluster`` for every task.  Every cluster id in
+        ``0..num_clusters-1`` must be used at least once (the mapping stage
+        requires a bijection between clusters and processors, so empty
+        clusters would waste a processor; callers that want empty clusters
+        can renumber).
+    num_clusters:
+        Total cluster count ``na``.  Defaults to ``max(labels) + 1``.
+    """
+
+    def __init__(
+        self, labels: Sequence[int] | np.ndarray, num_clusters: int | None = None
+    ) -> None:
+        arr = np.asarray(labels, dtype=np.int64).copy()
+        if arr.ndim != 1 or arr.size == 0:
+            raise GraphError("labels must be a non-empty 1-D sequence")
+        if (arr < 0).any():
+            raise GraphError("cluster labels must be non-negative")
+        na = int(arr.max()) + 1 if num_clusters is None else int(num_clusters)
+        if (arr >= na).any():
+            raise GraphError(f"label {int(arr.max())} out of range for {na} clusters")
+        used = np.bincount(arr, minlength=na)
+        if (used == 0).any():
+            empty = int(np.argmax(used == 0))
+            raise GraphError(
+                f"cluster {empty} is empty; every cluster must hold at least one task"
+            )
+        self._labels = arr
+        self._na = na
+        self._members: list[np.ndarray] = [np.flatnonzero(arr == c) for c in range(na)]
+
+    @property
+    def num_tasks(self) -> int:
+        return self._labels.size
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters, the paper's ``na``."""
+        return self._na
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Cluster id per task (read-only view)."""
+        view = self._labels.view()
+        view.flags.writeable = False
+        return view
+
+    def cluster_of(self, task: int) -> int:
+        return int(self._labels[task])
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Tasks in ``cluster``, ascending (a row of the paper's ``clus_pnode``)."""
+        return self._members[cluster]
+
+    def sizes(self) -> np.ndarray:
+        """Number of tasks per cluster."""
+        return np.asarray([m.size for m in self._members], dtype=np.int64)
+
+    def load(self, graph: TaskGraph) -> np.ndarray:
+        """Total task work per cluster under ``graph``'s task sizes."""
+        return np.bincount(
+            self._labels, weights=graph.task_sizes, minlength=self._na
+        ).astype(np.int64)
+
+    def clus_pnode(self) -> np.ndarray:
+        """The paper's cluster matrix ``clus_pnode[na][np]`` (Fig. 19-b).
+
+        Row ``c`` lists the member tasks of cluster ``c`` left-justified and
+        padded with ``-1`` (the paper pads with blanks).
+        """
+        out = np.full((self._na, self.num_tasks), -1, dtype=np.int64)
+        for c, mem in enumerate(self._members):
+            out[c, : mem.size] = mem
+        return out
+
+    @classmethod
+    def from_groups(
+        cls, groups: Iterable[Iterable[int]], num_tasks: int | None = None
+    ) -> "Clustering":
+        """Build from an iterable of clusters, each an iterable of task ids."""
+        group_list = [list(g) for g in groups]
+        flat = [t for g in group_list for t in g]
+        if not flat:
+            raise GraphError("at least one non-empty group is required")
+        n = (max(flat) + 1) if num_tasks is None else num_tasks
+        if sorted(flat) != list(range(n)):
+            raise GraphError("groups must partition tasks 0..n-1 exactly once each")
+        labels = np.empty(n, dtype=np.int64)
+        for c, g in enumerate(group_list):
+            for t in g:
+                labels[t] = c
+        return cls(labels, num_clusters=len(group_list))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clustering):
+            return NotImplemented
+        return self._na == other._na and np.array_equal(self._labels, other._labels)
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Clustering(tasks={self.num_tasks}, clusters={self._na})"
+
+
+class ClusteredGraph:
+    """A task graph together with a clustering (the paper's ``Gc``).
+
+    Exposes the two matrices the mapping algorithms consume:
+
+    * :attr:`clus_edge` — inter-cluster communication weights; intra-cluster
+      entries are zeroed (Fig. 19-a).
+    * the parent graph's ``prob_edge`` — still needed because precedence of
+      intra-cluster edges survives clustering (Sec. 4.1 discusses exactly
+      this trap: task 4's predecessor is only visible in ``prob_edge``).
+    """
+
+    def __init__(self, graph: TaskGraph, clustering: Clustering) -> None:
+        if clustering.num_tasks != graph.num_tasks:
+            raise GraphError(
+                f"clustering covers {clustering.num_tasks} tasks but the graph "
+                f"has {graph.num_tasks}"
+            )
+        self._graph = graph
+        self._clustering = clustering
+        labels = clustering.labels
+        cross = labels[:, None] != labels[None, :]
+        self._clus_edge = np.where(cross, graph.prob_edge, 0).astype(np.int64)
+
+    @property
+    def graph(self) -> TaskGraph:
+        return self._graph
+
+    @property
+    def clustering(self) -> Clustering:
+        return self._clustering
+
+    @property
+    def num_tasks(self) -> int:
+        return self._graph.num_tasks
+
+    @property
+    def num_clusters(self) -> int:
+        return self._clustering.num_clusters
+
+    @property
+    def clus_edge(self) -> np.ndarray:
+        """Clustered problem edge matrix (read-only view)."""
+        view = self._clus_edge.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def prob_edge(self) -> np.ndarray:
+        return self._graph.prob_edge
+
+    @property
+    def task_sizes(self) -> np.ndarray:
+        return self._graph.task_sizes
+
+    def cluster_of(self, task: int) -> int:
+        return self._clustering.cluster_of(task)
+
+    def comm_weight(self, src: int, dst: int) -> int:
+        """Clustered communication weight of ``src -> dst`` (0 if intra-cluster)."""
+        return int(self._clus_edge[src, dst])
+
+    def cut_weight(self) -> int:
+        """Total inter-cluster communication weight (the clustering's cut)."""
+        return int(self._clus_edge.sum())
+
+    def internal_weight(self) -> int:
+        """Total communication weight absorbed inside clusters."""
+        return self._graph.total_comm - self.cut_weight()
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusteredGraph(tasks={self.num_tasks}, clusters={self.num_clusters}, "
+            f"cut={self.cut_weight()})"
+        )

@@ -1,0 +1,119 @@
+"""The ideal graph: schedule on the fully connected closure, lower bound.
+
+Paper Sec. 2.1 (Fig. 6) and Sec. 4.1.  Mapping the clustered problem graph
+onto the *system graph closure* (a complete graph, Fig. 5-b) makes every
+inter-cluster communication cost exactly its clustered weight — there is a
+unique, assignment-independent schedule:
+
+    ``i_start[i] = max_j (i_end[j] + clus_edge[j][i])``  over predecessors j
+    ``i_end[i]   = i_start[i] + task_size[i]``
+
+Predecessors are found in ``prob_edge`` (intra-cluster precedence
+survives; ``clus_edge`` contributes 0 for those).  The makespan of this
+schedule is the paper's **lower bound** (Theorem 3): no assignment onto
+the real topology can finish earlier, and any assignment matching it is
+optimal — that is the refinement termination condition.
+
+The *ideal edge matrix* ``i_edge[j][i] = i_start[i] - i_end[j]`` (for
+problem edges) records per-edge slack and feeds the critical-edge
+analysis: an edge with ``i_edge == clus_edge`` has no slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .clustered import ClusteredGraph
+
+__all__ = ["IdealSchedule", "ideal_schedule", "lower_bound"]
+
+
+@dataclass(frozen=True)
+class IdealSchedule:
+    """The assignment-independent schedule on the closure (Fig. 6).
+
+    Attributes
+    ----------
+    clustered:
+        The clustered graph the schedule was derived from.
+    i_start, i_end:
+        Start / end time per task (the paper's ``i_start`` / ``i_end``,
+        Fig. 22-b).
+    i_edge:
+        Ideal edge matrix: for every problem edge ``j -> i``,
+        ``i_edge[j, i] = i_start[i] - i_end[j]`` (Fig. 22-a); zero where
+        there is no problem edge.
+    total_time:
+        Makespan = ``max(i_end)``; the **lower bound** of Theorem 3.
+    """
+
+    clustered: ClusteredGraph
+    i_start: np.ndarray
+    i_end: np.ndarray
+    i_edge: np.ndarray
+    total_time: int
+
+    def latest_tasks(self) -> np.ndarray:
+        """Tasks terminating last (the paper's *latest tasks*, Sec. 2.1)."""
+        return np.flatnonzero(self.i_end == self.total_time)
+
+    def slack(self, src: int, dst: int) -> int:
+        """Slack of problem edge ``src -> dst``: ``i_edge - clus_edge``.
+
+        A slack of zero is the *tightness* precondition of Theorems 1–2.
+        """
+        return int(
+            self.i_edge[src, dst] - self.clustered.clus_edge[src, dst]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IdealSchedule(tasks={self.i_start.size}, "
+            f"total_time={self.total_time})"
+        )
+
+
+def ideal_schedule(clustered: ClusteredGraph) -> IdealSchedule:
+    """Derive the ideal schedule (paper Sec. 4.1, algorithms I–III).
+
+    The paper's algorithm I visits tasks whose predecessors are all done;
+    that is a topological sweep, which :class:`TaskGraph` precomputes.
+    """
+    graph = clustered.graph
+    n = graph.num_tasks
+    clus = clustered.clus_edge
+    sizes = graph.task_sizes
+
+    i_start = np.zeros(n, dtype=np.int64)
+    i_end = np.zeros(n, dtype=np.int64)
+    for t in graph.topological_order.tolist():
+        preds = graph.predecessors(t)
+        start = 0
+        if preds.size:
+            start = int((i_end[preds] + clus[preds, t]).max())
+        i_start[t] = start
+        i_end[t] = start + sizes[t]
+
+    # Algorithm III: i_edge[j][i] = i_start[i] - i_end[j] on problem edges.
+    mask = graph.prob_edge > 0
+    i_edge = np.zeros((n, n), dtype=np.int64)
+    diff = i_start[None, :] - i_end[:, None]
+    i_edge[mask] = diff[mask]
+
+    i_start.flags.writeable = False
+    i_end.flags.writeable = False
+    i_edge.flags.writeable = False
+    return IdealSchedule(
+        clustered=clustered,
+        i_start=i_start,
+        i_end=i_end,
+        i_edge=i_edge,
+        total_time=int(i_end.max()),
+    )
+
+
+def lower_bound(clustered: ClusteredGraph) -> int:
+    """The paper's lower bound: the ideal-graph makespan (algorithm II)."""
+    return ideal_schedule(clustered).total_time

@@ -1,0 +1,297 @@
+"""The problem graph: a weighted DAG of tasks.
+
+This is the paper's *problem graph* ``Gp = {Vp, Ep}`` (Sec. 2.1, Fig. 2).
+Each node (task) carries an integer execution time (``task_size`` in the
+paper's internal representation, Sec. 3) and each directed edge carries an
+integer communication time (``prob_edge[i][j]``).
+
+The canonical storage is the dense ``prob_edge`` matrix, exactly as in the
+paper, because every algorithm in Sec. 4 is phrased over it.  Adjacency
+lists, topological order, and transitive structure are derived and cached.
+Tasks are numbered ``0..np-1`` (the paper numbers from 1; all internal
+indices here are 0-based and the I/O layer preserves that convention).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils import GraphError, as_weight_matrix
+
+__all__ = ["TaskGraph", "Edge"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, weighted problem edge ``src -> dst``."""
+
+    src: int
+    dst: int
+    weight: int
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.src, self.dst, self.weight)
+
+
+class TaskGraph:
+    """A weighted task DAG (the paper's problem graph).
+
+    Parameters
+    ----------
+    task_sizes:
+        Execution time of each task, one entry per task.  All must be
+        positive (a task takes at least one time unit).
+    edges:
+        Either a dense square matrix ``prob_edge`` (entry ``[i, j] > 0``
+        means an edge ``i -> j`` with that communication weight) or an
+        iterable of ``(src, dst, weight)`` triples.
+    name:
+        Optional label used in reports and serialized files.
+
+    Raises
+    ------
+    GraphError
+        If sizes are non-positive, an edge is self-looping or dangling, or
+        the graph contains a cycle.
+    """
+
+    def __init__(
+        self,
+        task_sizes: Sequence[int] | np.ndarray,
+        edges: object = (),
+        name: str = "taskgraph",
+    ) -> None:
+        sizes = np.asarray(task_sizes, dtype=np.int64).copy()
+        if sizes.ndim != 1:
+            raise GraphError(f"task_sizes must be 1-D, got shape {sizes.shape}")
+        if sizes.size == 0:
+            raise GraphError("a task graph needs at least one task")
+        if (sizes <= 0).any():
+            bad = int(np.argmax(sizes <= 0))
+            raise GraphError(f"task {bad} has non-positive size {int(sizes[bad])}")
+        self._sizes = sizes
+        n = sizes.size
+
+        if isinstance(edges, (np.ndarray, dict)) or (
+            isinstance(edges, Sequence) and edges and not _looks_like_triples(edges)
+        ):
+            mat = as_weight_matrix(edges, n)
+        else:
+            mat = np.zeros((n, n), dtype=np.int64)
+            for src, dst, weight in edges:  # type: ignore[misc]
+                if not (0 <= src < n and 0 <= dst < n):
+                    raise GraphError(f"edge ({src}, {dst}) references a missing task")
+                if weight <= 0:
+                    raise GraphError(f"edge ({src}, {dst}) must have positive weight")
+                mat[src, dst] = int(weight)
+        if np.diagonal(mat).any():
+            raise GraphError("self-loop edges are not allowed")
+        self._prob_edge = mat
+        self.name = name
+        self._topo = _topological_order(mat)  # raises on cycles
+        self._preds: list[np.ndarray] = [np.flatnonzero(mat[:, j]) for j in range(n)]
+        self._succs: list[np.ndarray] = [np.flatnonzero(mat[i, :]) for i in range(n)]
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks, the paper's ``np``."""
+        return self._sizes.size
+
+    @property
+    def task_sizes(self) -> np.ndarray:
+        """Execution time per task (read-only view), the paper's ``task_size``."""
+        view = self._sizes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def prob_edge(self) -> np.ndarray:
+        """The dense problem edge matrix (read-only view)."""
+        view = self._prob_edge.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def num_edges(self) -> int:
+        return int(np.count_nonzero(self._prob_edge))
+
+    @property
+    def total_work(self) -> int:
+        """Sum of all task sizes (serial execution time with zero comm)."""
+        return int(self._sizes.sum())
+
+    @property
+    def total_comm(self) -> int:
+        """Sum of all edge weights."""
+        return int(self._prob_edge.sum())
+
+    def weight(self, src: int, dst: int) -> int:
+        """Communication weight of edge ``src -> dst`` (0 if absent)."""
+        return int(self._prob_edge[src, dst])
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return self._prob_edge[src, dst] > 0
+
+    def predecessors(self, task: int) -> np.ndarray:
+        """Tasks with an edge into ``task``."""
+        return self._preds[task]
+
+    def successors(self, task: int) -> np.ndarray:
+        """Tasks with an edge out of ``task``."""
+        return self._succs[task]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as :class:`Edge` records."""
+        srcs, dsts = np.nonzero(self._prob_edge)
+        for s, d in zip(srcs.tolist(), dsts.tolist()):
+            yield Edge(s, d, int(self._prob_edge[s, d]))
+
+    def sources(self) -> np.ndarray:
+        """Tasks with no predecessors (entry tasks)."""
+        return np.flatnonzero(~self._prob_edge.any(axis=0))
+
+    def sinks(self) -> np.ndarray:
+        """Tasks with no successors (exit tasks)."""
+        return np.flatnonzero(~self._prob_edge.any(axis=1))
+
+    @property
+    def topological_order(self) -> np.ndarray:
+        """A topological ordering of the tasks (read-only view)."""
+        view = self._topo.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def critical_path_length(self) -> int:
+        """Length of the longest path counting node *and* edge weights.
+
+        This equals the ideal-graph makespan when every edge crosses a
+        cluster boundary, and lower-bounds it in general; it is mostly a
+        sanity metric for generated workloads.
+        """
+        finish = np.zeros(self.num_tasks, dtype=np.int64)
+        for t in self._topo.tolist():
+            preds = self._preds[t]
+            start = 0
+            if preds.size:
+                start = int((finish[preds] + self._prob_edge[preds, t]).max())
+            finish[t] = start + self._sizes[t]
+        return int(finish.max())
+
+    def degree(self, task: int) -> int:
+        """Undirected degree (in + out) of ``task``."""
+        return int(self._preds[task].size + self._succs[task].size)
+
+    def is_connected(self) -> bool:
+        """True if the underlying undirected graph is connected."""
+        n = self.num_tasks
+        adj = (self._prob_edge > 0) | (self._prob_edge.T > 0)
+        seen = np.zeros(n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            u = stack.pop()
+            for v in np.flatnonzero(adj[u]).tolist():
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        return bool(seen.all())
+
+    def relabeled(self, order: Sequence[int]) -> "TaskGraph":
+        """Return a copy with tasks renumbered by ``order``.
+
+        ``order[new_id] = old_id``; used by generators that want canonical
+        topological numbering.
+        """
+        idx = np.asarray(order, dtype=np.int64)
+        if np.sort(idx).tolist() != list(range(self.num_tasks)):
+            raise GraphError("relabel order must be a permutation of all tasks")
+        inv = np.empty_like(idx)
+        inv[idx] = np.arange(self.num_tasks)
+        mat = self._prob_edge[np.ix_(idx, idx)]
+        return TaskGraph(self._sizes[idx], mat, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Dunder / conversion
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_tasks
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskGraph):
+            return NotImplemented
+        return np.array_equal(self._sizes, other._sizes) and np.array_equal(
+            self._prob_edge, other._prob_edge
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash is fine
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph(name={self.name!r}, tasks={self.num_tasks}, "
+            f"edges={self.num_edges}, work={self.total_work})"
+        )
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` with ``size``/``weight`` attrs."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for i in range(self.num_tasks):
+            g.add_node(i, size=int(self._sizes[i]))
+        for e in self.edges():
+            g.add_edge(e.src, e.dst, weight=e.weight)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, name: str | None = None) -> "TaskGraph":
+        """Build from a :class:`networkx.DiGraph` with ``size``/``weight`` attrs.
+
+        Node labels must be ``0..n-1``.  Missing ``size`` defaults to 1,
+        missing ``weight`` defaults to 1.
+        """
+        n = g.number_of_nodes()
+        if sorted(g.nodes) != list(range(n)):
+            raise GraphError("networkx nodes must be labeled 0..n-1")
+        sizes = [int(g.nodes[i].get("size", 1)) for i in range(n)]
+        edges = [
+            (int(u), int(v), int(d.get("weight", 1))) for u, v, d in g.edges(data=True)
+        ]
+        return cls(sizes, edges, name=name or str(g.name or "taskgraph"))
+
+
+def _looks_like_triples(edges: Sequence) -> bool:
+    """Heuristic: is ``edges`` a sequence of (src, dst, w) triples?"""
+    first = edges[0]
+    return (
+        isinstance(first, (tuple, list, Edge))
+        and len(first if not isinstance(first, Edge) else first.as_tuple()) == 3
+    )
+
+
+def _topological_order(mat: np.ndarray) -> np.ndarray:
+    """Kahn's algorithm over the dense edge matrix; raises on cycles."""
+    n = mat.shape[0]
+    indeg = np.count_nonzero(mat, axis=0)
+    ready = [i for i in range(n) if indeg[i] == 0]
+    order: list[int] = []
+    indeg = indeg.copy()
+    while ready:
+        u = ready.pop()
+        order.append(u)
+        for v in np.flatnonzero(mat[u]).tolist():
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                ready.append(v)
+    if len(order) != n:
+        raise GraphError("problem graph contains a cycle; it must be a DAG")
+    return np.asarray(order, dtype=np.int64)

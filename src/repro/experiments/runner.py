@@ -1,0 +1,129 @@
+"""Experiment runner: one paper-style experiment end to end.
+
+One experiment (one row of Tables 1-3) is:
+
+1. generate a random problem graph (``np`` in [30, 300]),
+2. randomly cluster it into ``na == ns`` clusters,
+3. map with the critical-edge strategy (initial + refinement +
+   termination condition),
+4. map the same instance with ``random_samples`` random assignments and
+   average their total times,
+5. report both as percentages over the ideal lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.stats import ExperimentRow
+from ..baselines.random_map import average_random_mapping
+from ..clustering.simple import RandomClusterer
+from ..core.clustered import ClusteredGraph
+from ..core.mapper import CriticalEdgeMapper, MappingResult
+from ..topology.base import SystemGraph
+from ..utils import as_rng
+from ..workloads.random_dag import layered_random_dag
+
+__all__ = ["ExperimentConfig", "run_experiment", "run_table"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs for one table of experiments (paper Sec. 5 ranges by default).
+
+    The paper publishes only the ranges (``np`` in [30, 300], ``ns`` in
+    [4, 40], "weights ... produced randomly"); the remaining defaults were
+    calibrated so the reproduction matches the paper's *shape* — proposed
+    mapping within ~0-25% of the lower bound, averaged random mapping
+    ~20-90% above it, and a sizable fraction of runs terminating by
+    hitting the bound (see EXPERIMENTS.md for the sensitivity study):
+
+    * ``extra_edges_per_task = 0.5`` keeps the mean degree constant as
+      graphs grow (task graphs from real programs are sparse); dense
+      graphs make the lower bound unreachable for *every* mapper.
+    * ``comm_range = (1, 5)`` against ``task_size_range = (1, 10)`` puts
+      communication at roughly half the weight of computation, which is
+      what the paper's own Fig. 2 example uses.
+    * ``log_uniform_tasks`` draws ``np`` log-uniformly from [30, 300]:
+      the termination condition fires mostly on small instances (short
+      critical chains embed exactly), and the paper's per-table hit
+      counts (7/11 on meshes) require many such instances.
+    """
+
+    min_tasks: int = 30
+    max_tasks: int = 300
+    random_samples: int = 20
+    extra_edge_prob: float | None = None  # None: constant-mean-degree default
+    extra_edges_per_task: float = 0.5
+    log_uniform_tasks: bool = True
+    task_size_range: tuple[int, int] = (1, 10)
+    comm_range: tuple[int, int] = (1, 5)
+    refinement: str = "random"
+    refinement_trials: int | None = None  # None = the paper's ns
+
+
+def run_experiment(
+    index: int,
+    system: SystemGraph,
+    config: ExperimentConfig = ExperimentConfig(),
+    rng: int | np.random.Generator | None = None,
+    num_tasks: int | None = None,
+) -> tuple[ExperimentRow, MappingResult]:
+    """Run one experiment on ``system``; returns the table row and the result."""
+    gen = as_rng(rng)
+    ns = system.num_nodes
+    if num_tasks is None:
+        lo = max(config.min_tasks, ns)  # at least one task per cluster
+        if config.log_uniform_tasks:
+            log_n = gen.uniform(np.log(lo), np.log(config.max_tasks))
+            num_tasks = int(round(np.exp(log_n)))
+        else:
+            num_tasks = int(gen.integers(lo, config.max_tasks + 1))
+    graph = layered_random_dag(
+        num_tasks=num_tasks,
+        extra_edge_prob=config.extra_edge_prob,
+        extra_edges_per_task=config.extra_edges_per_task,
+        task_size_range=config.task_size_range,
+        comm_range=config.comm_range,
+        rng=gen,
+        name=f"exp{index}-{system.name}",
+    )
+    clustering = RandomClusterer(num_clusters=ns).cluster(graph, rng=gen)
+    clustered = ClusteredGraph(graph, clustering)
+
+    mapper = CriticalEdgeMapper(
+        refinement=config.refinement,
+        refinement_trials=config.refinement_trials,
+        rng=gen,
+    )
+    result = mapper.map(clustered, system)
+    random_stats = average_random_mapping(
+        clustered, system, samples=config.random_samples, rng=gen
+    )
+    row = ExperimentRow(
+        index=index,
+        num_tasks=num_tasks,
+        num_processors=ns,
+        topology=system.name,
+        lower_bound=result.lower_bound,
+        our_total_time=result.total_time,
+        random_mean_total_time=random_stats.mean_total_time,
+        reached_lower_bound=result.is_provably_optimal,
+    )
+    return row, result
+
+
+def run_table(
+    systems: list[SystemGraph],
+    config: ExperimentConfig = ExperimentConfig(),
+    rng: int | np.random.Generator | None = None,
+) -> list[ExperimentRow]:
+    """Run one experiment per system graph (one paper table)."""
+    gen = as_rng(rng)
+    rows = []
+    for i, system in enumerate(systems, start=1):
+        row, _ = run_experiment(i, system, config, rng=gen)
+        rows.append(row)
+    return rows

@@ -1,0 +1,73 @@
+"""Graphviz DOT export for task graphs, system graphs, and mappings.
+
+Purely for visual inspection/debugging (no graphviz dependency — we only
+*emit* the text format).  Node and edge weights appear as labels; in the
+mapping export, clusters become colored groups.
+"""
+
+from __future__ import annotations
+
+from ..core.clustered import ClusteredGraph
+from ..core.taskgraph import TaskGraph
+from ..topology.base import SystemGraph
+
+__all__ = ["task_graph_to_dot", "system_graph_to_dot", "clustered_graph_to_dot"]
+
+# A qualitative palette that stays readable on white backgrounds.
+_PALETTE = [
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+    "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f",
+]
+
+
+def task_graph_to_dot(graph: TaskGraph, one_based: bool = True) -> str:
+    """DOT digraph with ``id/size`` node labels and weight edge labels."""
+    off = 1 if one_based else 0
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for t in range(graph.num_tasks):
+        lines.append(
+            f'  t{t} [label="{t + off}\\n({int(graph.task_sizes[t])})", shape=circle];'
+        )
+    for e in graph.edges():
+        lines.append(f'  t{e.src} -> t{e.dst} [label="{e.weight}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def system_graph_to_dot(system: SystemGraph) -> str:
+    """DOT (undirected) graph of the machine topology."""
+    lines = [f'graph "{system.name}" {{', "  node [shape=box];"]
+    for n in range(system.num_nodes):
+        lines.append(f'  s{n} [label="P{n}"];')
+    for u, v in system.edges():
+        lines.append(f"  s{u} -- s{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def clustered_graph_to_dot(clustered: ClusteredGraph, one_based: bool = True) -> str:
+    """DOT digraph with one subgraph cluster per abstract node (Fig. 3 style).
+
+    Intra-cluster edges are drawn dashed (their weight is zeroed by
+    clustering); inter-cluster edges keep their weight labels.
+    """
+    graph = clustered.graph
+    off = 1 if one_based else 0
+    lines = [f'digraph "{graph.name}-clustered" {{', "  rankdir=TB;"]
+    for c in range(clustered.num_clusters):
+        color = _PALETTE[c % len(_PALETTE)]
+        lines.append(f"  subgraph cluster_{c} {{")
+        lines.append(f'    label="cluster {c}"; style=filled; color="{color}";')
+        for t in clustered.clustering.members(c).tolist():
+            lines.append(
+                f'    t{t} [label="{t + off}\\n({int(graph.task_sizes[t])})", '
+                "shape=circle, fillcolor=white, style=filled];"
+            )
+        lines.append("  }")
+    for e in graph.edges():
+        if clustered.cluster_of(e.src) == clustered.cluster_of(e.dst):
+            lines.append(f"  t{e.src} -> t{e.dst} [style=dashed];")
+        else:
+            lines.append(f'  t{e.src} -> t{e.dst} [label="{e.weight}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Export experiment results for downstream analysis (CSV / JSON).
+
+The benchmark harness renders the paper's tables as text; this module
+emits the same rows machine-readably so they can be re-plotted or joined
+with other runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from ..analysis.stats import ExperimentRow
+
+__all__ = ["rows_to_csv", "rows_to_json", "save_rows"]
+
+_FIELDS = [
+    "index",
+    "topology",
+    "num_tasks",
+    "num_processors",
+    "lower_bound",
+    "our_total_time",
+    "random_mean_total_time",
+    "ours_pct",
+    "random_pct",
+    "improvement",
+    "reached_lower_bound",
+]
+
+
+def _row_record(row: ExperimentRow) -> dict:
+    return {
+        "index": row.index,
+        "topology": row.topology,
+        "num_tasks": row.num_tasks,
+        "num_processors": row.num_processors,
+        "lower_bound": row.lower_bound,
+        "our_total_time": row.our_total_time,
+        "random_mean_total_time": row.random_mean_total_time,
+        "ours_pct": round(row.ours_pct, 2),
+        "random_pct": round(row.random_pct, 2),
+        "improvement": round(row.improvement, 2),
+        "reached_lower_bound": row.reached_lower_bound,
+    }
+
+
+def rows_to_csv(rows: list[ExperimentRow]) -> str:
+    """CSV text (header + one line per experiment)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(_row_record(row))
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: list[ExperimentRow]) -> str:
+    """JSON array text, one object per experiment."""
+    return json.dumps([_row_record(r) for r in rows], indent=2) + "\n"
+
+
+def save_rows(path: str | Path, rows: list[ExperimentRow]) -> Path:
+    """Write rows in the format implied by the file suffix (.csv / .json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        path.write_text(rows_to_csv(rows))
+    elif path.suffix == ".json":
+        path.write_text(rows_to_json(rows))
+    else:
+        raise ValueError(f"unsupported export suffix {path.suffix!r} (.csv or .json)")
+    return path

@@ -1,0 +1,96 @@
+"""Paper-style matrix pretty-printing (Figs. 18-23).
+
+The paper communicates every data structure as a small integer matrix
+with 1-based row/column task ids.  :func:`format_matrix` reproduces that
+presentation (blank for zero, 1-based headers) so a mapping instance can
+be compared against the paper's figures by eye; :func:`format_paper_
+matrices` dumps the whole Sec. 3 bundle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.matrices import PaperMatrices
+
+__all__ = ["format_matrix", "format_vector", "format_paper_matrices"]
+
+
+def format_matrix(
+    mat: np.ndarray,
+    title: str | None = None,
+    one_based: bool = True,
+    blank_zeros: bool = True,
+) -> str:
+    """Render a 2-D integer matrix the way the paper's figures do."""
+    if mat.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {mat.shape}")
+    off = 1 if one_based else 0
+    cells = []
+    for row in mat:
+        cells.append(
+            ["" if blank_zeros and v == 0 else str(int(v)) for v in row]
+        )
+    headers = [str(j + off) for j in range(mat.shape[1])]
+    width = max(
+        [len(h) for h in headers] + [len(c) for row in cells for c in row] + [1]
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * (width + 2) + " ".join(h.rjust(width) for h in headers))
+    for i, row in enumerate(cells):
+        lines.append(
+            str(i + off).rjust(width)
+            + " | "
+            + " ".join(c.rjust(width) for c in row).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_vector(vec: np.ndarray, title: str | None = None, one_based: bool = True) -> str:
+    """Render a 1-D vector with 1-based index header (Fig. 22-b style)."""
+    if vec.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {vec.shape}")
+    off = 1 if one_based else 0
+    headers = [str(i + off) for i in range(vec.size)]
+    values = [str(int(v)) for v in vec]
+    width = max(len(x) for x in headers + values)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" ".join(h.rjust(width) for h in headers))
+    lines.append(" ".join(v.rjust(width) for v in values))
+    return "\n".join(lines)
+
+
+def format_paper_matrices(matrices: PaperMatrices) -> str:
+    """Dump the full Sec. 3 matrix bundle with the paper's figure names."""
+    sections = [
+        format_matrix(matrices.prob_edge, "prob_edge (Fig. 18)"),
+        format_vector(matrices.task_size, "task_size"),
+        format_matrix(matrices.clus_edge, "clus_edge (Fig. 19-a)"),
+        format_matrix(matrices.clus_pnode + 1, "clus_pnode, 1-based, 0 = pad (Fig. 19-b)"),
+        format_matrix(matrices.abs_edge, "abs_edge (Fig. 20-a)", one_based=False),
+        format_matrix(
+            matrices.c_abs_edge,
+            "c_abs_edge with critical degree column (Fig. 20-b)",
+            one_based=False,
+        ),
+        format_vector(matrices.mca, "mca (Fig. 20-c)", one_based=False),
+        format_matrix(matrices.sys_edge, "sys_edge (Fig. 21-a)", one_based=False),
+        format_matrix(matrices.shortest, "shortest (Fig. 21-b)", one_based=False, blank_zeros=False),
+        format_vector(matrices.deg, "deg (Fig. 21-c)", one_based=False),
+        format_matrix(matrices.i_edge, "i_edge (Fig. 22-a)"),
+        format_vector(matrices.i_start, "i_start (Fig. 22-b)"),
+        format_vector(matrices.i_end, "i_end (Fig. 22-b)"),
+        format_matrix(matrices.crit_edge, "crit_edge (Fig. 22-c)"),
+    ]
+    if matrices.assi is not None:
+        sections.append(format_vector(matrices.assi, "assi (Fig. 23-b)", one_based=False))
+    if matrices.comm is not None:
+        sections.append(format_matrix(matrices.comm, "comm (Fig. 23-c)"))
+    if matrices.start is not None and matrices.end is not None:
+        sections.append(format_vector(matrices.start, "start (Fig. 23-d)"))
+        sections.append(format_vector(matrices.end, "end (Fig. 23-d)"))
+    return "\n\n".join(sections)

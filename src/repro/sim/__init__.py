@@ -1,0 +1,19 @@
+"""Discrete-event MIMD simulator: the paper's model plus fidelity knobs."""
+
+from .engine import SimConfig, SimResult, simulate
+from .events import Event, EventKind, EventQueue
+from .machine import MimdMachine
+from .trace import SimTrace, TaskRecord, TransferRecord
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "MimdMachine",
+    "SimConfig",
+    "SimResult",
+    "SimTrace",
+    "TaskRecord",
+    "TransferRecord",
+    "simulate",
+]

@@ -1,0 +1,60 @@
+"""Event types and the event queue for the MIMD simulator.
+
+A tiny, dependency-free discrete-event core: events are ordered by
+``(time, sequence)`` so simultaneous events fire in insertion order,
+which makes runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(Enum):
+    """What happened (see :mod:`repro.sim.engine` for the semantics)."""
+
+    TASK_READY = auto()      # all inputs of a task have arrived
+    TASK_FINISH = auto()     # a task completed execution
+    HOP_ARRIVE = auto()      # a message finished traversing one link
+    LINK_FREE = auto()       # a link became available (contention mode)
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence.
+
+    ``payload`` is deliberately untyped (engine-internal records); only
+    ``time``/``seq`` participate in ordering.
+    """
+
+    time: int
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: object = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event`."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: int, kind: EventKind, payload: object = None) -> None:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, Event(time, self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

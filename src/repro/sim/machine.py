@@ -1,0 +1,71 @@
+"""Machine model for the simulator: routing tables and link registry.
+
+Wraps a :class:`~repro.topology.base.SystemGraph` with the artifacts the
+discrete-event engine needs:
+
+* cached shortest *paths* (not just hop counts) for deterministic
+  store-and-forward routing — ties are broken by the BFS order of
+  :meth:`SystemGraph.shortest_path`, so routes are stable across runs;
+* a directed-link table for the contention model (each physical link is
+  two directed channels, full duplex, one message at a time each).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import SystemGraph
+
+__all__ = ["MimdMachine"]
+
+
+class MimdMachine:
+    """Routing and link bookkeeping for one system graph."""
+
+    def __init__(self, system: SystemGraph) -> None:
+        self.system = system
+        self._paths: dict[tuple[int, int], tuple[int, ...]] = {}
+        # busy-until time per directed link; populated lazily.
+        self._link_free: dict[tuple[int, int], int] = {}
+        self._link_busy_total: dict[tuple[int, int], int] = {}
+
+    @property
+    def num_nodes(self) -> int:
+        return self.system.num_nodes
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """The (cached) node sequence a message follows, endpoints included."""
+        key = (src, dst)
+        path = self._paths.get(key)
+        if path is None:
+            path = tuple(self.system.shortest_path(src, dst))
+            self._paths[key] = path
+        return path
+
+    def reset_links(self) -> None:
+        """Forget all link occupancy (start of a simulation run)."""
+        self._link_free.clear()
+        self._link_busy_total.clear()
+
+    def acquire_link(self, a: int, b: int, request_time: int, duration: int) -> int:
+        """Reserve directed link ``a -> b``; returns the transfer *start* time.
+
+        The transfer occupies the link during ``[start, start + duration)``.
+        """
+        free_at = self._link_free.get((a, b), 0)
+        start = max(request_time, free_at)
+        self._link_free[(a, b)] = start + duration
+        self._link_busy_total[(a, b)] = (
+            self._link_busy_total.get((a, b), 0) + duration
+        )
+        return start
+
+    def link_busy_time(self) -> dict[tuple[int, int], int]:
+        """Total busy time per directed link over the last run."""
+        return dict(self._link_busy_total)
+
+    def max_link_utilization(self, makespan: int) -> float:
+        """Peak directed-link utilization (busy / makespan) of the last run."""
+        if makespan <= 0 or not self._link_busy_total:
+            return 0.0
+        return max(self._link_busy_total.values()) / makespan

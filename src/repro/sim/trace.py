@@ -1,0 +1,64 @@
+"""Execution traces produced by the simulator.
+
+Plain records — one per task execution and one per link traversal — that
+downstream tooling (Gantt rendering, utilization stats, debugging) can
+consume without touching engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskRecord", "TransferRecord", "SimTrace"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task execution interval on one processor."""
+
+    task: int
+    processor: int
+    start: int
+    end: int
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One message occupying one directed link for one hop."""
+
+    src_task: int
+    dst_task: int
+    link: tuple[int, int]
+    start: int
+    end: int
+
+
+@dataclass
+class SimTrace:
+    """Everything that happened during a run, in completion order."""
+
+    tasks: list[TaskRecord] = field(default_factory=list)
+    transfers: list[TransferRecord] = field(default_factory=list)
+
+    def tasks_by_processor(self) -> dict[int, list[TaskRecord]]:
+        """Task records grouped by processor, ordered by start time."""
+        out: dict[int, list[TaskRecord]] = {}
+        for rec in self.tasks:
+            out.setdefault(rec.processor, []).append(rec)
+        for records in out.values():
+            records.sort(key=lambda r: (r.start, r.task))
+        return out
+
+    def busiest_link(self) -> tuple[tuple[int, int], int] | None:
+        """The directed link with the most cumulative transfer time."""
+        if not self.transfers:
+            return None
+        totals: dict[tuple[int, int], int] = {}
+        for rec in self.transfers:
+            totals[rec.link] = totals.get(rec.link, 0) + (rec.end - rec.start)
+        link = max(totals, key=lambda k: (totals[k], k))
+        return link, totals[link]
+
+    def total_transfer_time(self) -> int:
+        """Sum of all per-hop transfer durations (hop-weighted volume)."""
+        return sum(rec.end - rec.start for rec in self.transfers)

@@ -1,0 +1,321 @@
+"""The system graph: processor interconnection topology.
+
+Paper Sec. 2.1 (Fig. 5-a) and Sec. 3.4: an undirected, connected graph of
+homogeneous processing elements, represented by
+
+* ``sys_edge[ns][ns]`` — 0/1 adjacency matrix (Fig. 21-a),
+* ``shortest[ns][ns]`` — all-pairs shortest-path hop counts (Fig. 21-b),
+* ``deg[ns]`` — node degrees (Fig. 21-c).
+
+The *closure* (Fig. 5-b) is the complete graph on the same nodes; it never
+needs materializing (paper Sec. 3.5) — every off-diagonal distance is 1 —
+but :meth:`SystemGraph.closure` builds it for callers that want to run the
+generic evaluator on it.
+
+Link weights default to unit (the 1991 model measures distance in hops).
+Heterogeneous integer link costs are supported as an extension: pass
+``link_weights`` and ``shortest`` becomes the weighted distance matrix
+(Dijkstra), ``shortest_path`` follows weighted-optimal routes, and the
+evaluator/simulator inherit the costs unchanged because they only consume
+``shortest`` and the routes.  Theorem 3's lower bound stays valid as long
+as every link weight is >= 1 (the closure's unit links remain a lower
+envelope), which the constructor enforces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..utils import GraphError
+
+__all__ = ["SystemGraph"]
+
+
+class SystemGraph:
+    """An undirected, connected processor topology.
+
+    Parameters
+    ----------
+    adjacency:
+        Square 0/1 (or boolean) matrix; symmetrized automatically, so
+        callers may fill only one triangle.  Self-loops are rejected.
+    name:
+        Label used in reports ("hypercube-16", "mesh-4x5", ...).
+    link_weights:
+        Optional square integer matrix of per-link costs (>= 1 on every
+        link; entries off links are ignored).  Omitted = unit links (the
+        paper's model).
+
+    Raises
+    ------
+    GraphError
+        If the matrix is not square, has self-loops, or the graph is
+        disconnected (a disconnected machine cannot host communicating
+        clusters), or a link weight is < 1.
+    """
+
+    def __init__(
+        self,
+        adjacency: object,
+        name: str = "system",
+        link_weights: object | None = None,
+    ) -> None:
+        mat = np.asarray(adjacency)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise GraphError(f"adjacency must be square, got shape {mat.shape}")
+        adj = ((mat != 0) | (mat.T != 0)).astype(np.int64)
+        if np.diagonal(adj).any():
+            raise GraphError("system graph must not contain self-loops")
+        if adj.shape[0] < 1:
+            raise GraphError("system graph needs at least one node")
+        self._adj = adj
+        self.name = name
+
+        if link_weights is None:
+            self._link_w = adj.copy()
+            self._weighted = False
+        else:
+            w = np.asarray(link_weights, dtype=np.int64)
+            if w.shape != adj.shape:
+                raise GraphError(
+                    f"link_weights shape {w.shape} != adjacency {adj.shape}"
+                )
+            w = np.maximum(w, w.T)  # symmetrize like the adjacency
+            if ((w < 1) & (adj > 0)).any():
+                raise GraphError("every link weight must be >= 1")
+            self._link_w = np.where(adj > 0, w, 0)
+            self._weighted = bool((self._link_w[adj > 0] > 1).any())
+
+        self._neighbors: list[np.ndarray] = [
+            np.flatnonzero(adj[i]) for i in range(adj.shape[0])
+        ]
+        if self._weighted:
+            self._shortest = _dijkstra_all_pairs(self._link_w, self._neighbors)
+        else:
+            self._shortest = _bfs_all_pairs(adj)
+        if (self._shortest < 0).any():
+            raise GraphError("system graph must be connected")
+        self._deg = adj.sum(axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: Iterable[tuple[int, int]], name: str = "system"
+    ) -> "SystemGraph":
+        """Build from an undirected edge list over nodes ``0..num_nodes-1``."""
+        adj = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+        for u, v in edges:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise GraphError(f"edge ({u}, {v}) references a missing node")
+            if u == v:
+                raise GraphError(f"self-loop ({u}, {v}) not allowed")
+            adj[u, v] = adj[v, u] = 1
+        return cls(adj, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors, the paper's ``ns``."""
+        return self._adj.shape[0]
+
+    @property
+    def sys_edge(self) -> np.ndarray:
+        """0/1 adjacency matrix (read-only view), Fig. 21-a."""
+        view = self._adj.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def shortest(self) -> np.ndarray:
+        """All-pairs shortest hop counts (read-only view), Fig. 21-b."""
+        view = self._shortest.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def deg(self) -> np.ndarray:
+        """Node degree vector (read-only view), Fig. 21-c."""
+        view = self._deg.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def link_weights(self) -> np.ndarray:
+        """Per-link cost matrix (read-only view); equals ``sys_edge`` for
+        unit-weight machines."""
+        view = self._link_w.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when any link costs more than one unit."""
+        return self._weighted
+
+    def link_weight(self, a: int, b: int) -> int:
+        """Cost of the direct link ``a - b`` (0 if not adjacent)."""
+        return int(self._link_w[a, b])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        return self._neighbors[node]
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance between processors ``a`` and ``b``
+        (hop count on unit-weight machines, weighted cost otherwise)."""
+        return int(self._shortest[a, b])
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return bool(self._adj[a, b])
+
+    def num_edges(self) -> int:
+        """Number of undirected links."""
+        return int(self._adj.sum() // 2)
+
+    def diameter(self) -> int:
+        return int(self._shortest.max())
+
+    def average_distance(self) -> float:
+        """Mean hop count over distinct node pairs (0 for a 1-node machine)."""
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        return float(self._shortest.sum()) / (n * (n - 1))
+
+    def closure(self) -> "SystemGraph":
+        """The fully connected closure (Fig. 5-b)."""
+        n = self.num_nodes
+        adj = np.ones((n, n), dtype=np.int64) - np.eye(n, dtype=np.int64)
+        return SystemGraph(adj, name=f"{self.name}-closure")
+
+    def is_complete(self) -> bool:
+        n = self.num_nodes
+        return self.num_edges() == n * (n - 1) // 2
+
+    def shortest_path(self, src: int, dst: int) -> list[int]:
+        """One concrete shortest path (node list incl. endpoints).
+
+        BFS on unit-weight machines, Dijkstra backtracking otherwise.
+        Used by the discrete-event simulator for hop-by-hop routing; the
+        analytic model only needs the *distance*.
+        """
+        if src == dst:
+            return [src]
+        if self._weighted:
+            return self._weighted_path(src, dst)
+        prev = np.full(self.num_nodes, -1, dtype=np.int64)
+        prev[src] = src
+        frontier = [src]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in self._neighbors[u].tolist():
+                    if prev[v] == -1:
+                        prev[v] = u
+                        if v == dst:
+                            path = [dst]
+                            while path[-1] != src:
+                                path.append(int(prev[path[-1]]))
+                            return path[::-1]
+                        nxt.append(v)
+            frontier = nxt
+        raise GraphError(f"no path from {src} to {dst}")  # pragma: no cover
+
+    def _weighted_path(self, src: int, dst: int) -> list[int]:
+        """Backtrack one weighted-shortest route using the distance matrix.
+
+        From ``dst`` walk to any neighbor ``u`` with
+        ``dist(src, u) + w(u, dst) == dist(src, dst)`` (ties: lowest id,
+        keeping routes deterministic).
+        """
+        dist = self._shortest[src]
+        path = [dst]
+        while path[-1] != src:
+            v = path[-1]
+            for u in self._neighbors[v].tolist():
+                if dist[u] + self._link_w[u, v] == dist[v]:
+                    path.append(u)
+                    break
+            else:  # pragma: no cover - defensive
+                raise GraphError(f"route backtrack failed {src}->{dst}")
+        return path[::-1]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Sorted list of undirected links ``(u, v)`` with ``u < v``."""
+        srcs, dsts = np.nonzero(np.triu(self._adj, 1))
+        return sorted(zip(srcs.tolist(), dsts.tolist()))
+
+    def to_networkx(self):
+        """Export as :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(range(self.num_nodes))
+        g.add_edges_from(self.edges())
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SystemGraph):
+            return NotImplemented
+        return np.array_equal(self._adj, other._adj)
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_edges()}, diameter={self.diameter()})"
+        )
+
+
+def _dijkstra_all_pairs(
+    link_w: np.ndarray, neighbors: list[np.ndarray]
+) -> np.ndarray:
+    """All-pairs weighted shortest distances; -1 marks unreachable."""
+    import heapq
+
+    n = link_w.shape[0]
+    dist = np.full((n, n), -1, dtype=np.int64)
+    for s in range(n):
+        row = dist[s]
+        row[s] = 0
+        heap = [(0, s)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > row[u]:
+                continue
+            for v in neighbors[u].tolist():
+                nd = d + int(link_w[u, v])
+                if row[v] == -1 or nd < row[v]:
+                    row[v] = nd
+                    heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def _bfs_all_pairs(adj: np.ndarray) -> np.ndarray:
+    """All-pairs shortest hop counts by repeated BFS; -1 marks unreachable.
+
+    For the unit-weight, small (``ns <= 40`` in the paper, a few hundred at
+    most here) system graphs this beats setting up scipy's sparse machinery
+    and keeps the dependency surface minimal.
+    """
+    n = adj.shape[0]
+    neighbors = [np.flatnonzero(adj[i]) for i in range(n)]
+    dist = np.full((n, n), -1, dtype=np.int64)
+    for s in range(n):
+        row = dist[s]
+        row[s] = 0
+        frontier = [s]
+        d = 0
+        while frontier:
+            d += 1
+            nxt: list[int] = []
+            for u in frontier:
+                for v in neighbors[u].tolist():
+                    if row[v] == -1:
+                        row[v] = d
+                        nxt.append(v)
+            frontier = nxt
+    return dist

@@ -1,0 +1,77 @@
+"""Topology property helpers used by reports and tests.
+
+These are diagnostics on :class:`~repro.topology.base.SystemGraph`; the
+mapping algorithms themselves only consume ``deg`` and ``shortest``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import GraphError
+from .base import SystemGraph
+
+__all__ = [
+    "is_regular",
+    "degree_histogram",
+    "eccentricities",
+    "radius",
+    "center",
+    "edge_connectivity_lower_bound",
+    "summarize",
+]
+
+
+def is_regular(system: SystemGraph) -> bool:
+    """True if every node has the same degree (hypercubes, rings, tori...)."""
+    deg = system.deg
+    return bool((deg == deg[0]).all())
+
+
+def degree_histogram(system: SystemGraph) -> dict[int, int]:
+    """Map ``degree -> node count``."""
+    values, counts = np.unique(system.deg, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def eccentricities(system: SystemGraph) -> np.ndarray:
+    """Per-node eccentricity (max distance to any other node)."""
+    return system.shortest.max(axis=1)
+
+
+def radius(system: SystemGraph) -> int:
+    """Minimum eccentricity."""
+    return int(eccentricities(system).min())
+
+
+def center(system: SystemGraph) -> np.ndarray:
+    """Nodes whose eccentricity equals the radius."""
+    ecc = eccentricities(system)
+    return np.flatnonzero(ecc == ecc.min())
+
+
+def edge_connectivity_lower_bound(system: SystemGraph) -> int:
+    """A cheap lower bound on robustness: the minimum degree.
+
+    (Exact edge connectivity needs max-flow; min degree upper-bounds it and
+    is what interconnection-network folklore quotes for the regular
+    families, where the two coincide.)
+    """
+    if system.num_nodes < 2:
+        raise GraphError("connectivity undefined for a single node")
+    return int(system.deg.min())
+
+
+def summarize(system: SystemGraph) -> dict[str, object]:
+    """One-line-per-fact structured summary for reports."""
+    return {
+        "name": system.name,
+        "nodes": system.num_nodes,
+        "links": system.num_edges(),
+        "diameter": system.diameter(),
+        "radius": radius(system),
+        "average_distance": round(system.average_distance(), 4),
+        "min_degree": int(system.deg.min()),
+        "max_degree": int(system.deg.max()),
+        "regular": is_regular(system),
+    }

@@ -1,0 +1,69 @@
+"""Workload substrate: task-graph generators for experiments and examples."""
+
+from .classic import (
+    divide_conquer_dag,
+    fft_dag,
+    fork_join_dag,
+    map_reduce_dag,
+    pipeline_dag,
+    stencil_sweep_dag,
+)
+from .linalg import (
+    cholesky_dag,
+    gaussian_elimination_dag,
+    lu_dag,
+    triangular_solve_dag,
+    wavefront_dag,
+)
+from .paper_examples import (
+    RUNNING_EXAMPLE_I_END,
+    RUNNING_EXAMPLE_I_START,
+    RUNNING_EXAMPLE_LOWER_BOUND,
+    bokhari_counterexample_system,
+    bokhari_counterexample_task_graph,
+    lee_counterexample_phases,
+    lee_counterexample_system,
+    lee_counterexample_task_graph,
+    running_example_assignment_vector,
+    running_example_clustered,
+    running_example_clustering,
+    running_example_system,
+    running_example_task_graph,
+    singleton_clustering,
+)
+from .random_dag import gnp_dag, layered_random_dag, series_parallel_dag
+from .trees import broadcast_tree, diamond_lattice, reduction_tree
+
+__all__ = [
+    "RUNNING_EXAMPLE_I_END",
+    "RUNNING_EXAMPLE_I_START",
+    "RUNNING_EXAMPLE_LOWER_BOUND",
+    "bokhari_counterexample_system",
+    "bokhari_counterexample_task_graph",
+    "broadcast_tree",
+    "cholesky_dag",
+    "diamond_lattice",
+    "divide_conquer_dag",
+    "fft_dag",
+    "fork_join_dag",
+    "gaussian_elimination_dag",
+    "gnp_dag",
+    "layered_random_dag",
+    "lu_dag",
+    "lee_counterexample_phases",
+    "lee_counterexample_system",
+    "lee_counterexample_task_graph",
+    "map_reduce_dag",
+    "pipeline_dag",
+    "reduction_tree",
+    "running_example_assignment_vector",
+    "running_example_clustered",
+    "running_example_clustering",
+    "running_example_system",
+    "running_example_task_graph",
+    "series_parallel_dag",
+    "singleton_clustering",
+    "stencil_sweep_dag",
+    "triangular_solve_dag",
+    "wavefront_dag",
+]

@@ -1,0 +1,171 @@
+"""Classic parallel-program DAG shapes.
+
+The structures every mapping paper of the era exercised: FFT butterflies,
+fork-join, divide-and-conquer trees, software pipelines, and map-reduce.
+All generators produce plain :class:`~repro.core.taskgraph.TaskGraph`
+instances with tunable node/edge weights.
+"""
+
+from __future__ import annotations
+
+from ..core.taskgraph import TaskGraph
+from ..utils import GraphError
+
+__all__ = [
+    "fft_dag",
+    "fork_join_dag",
+    "divide_conquer_dag",
+    "pipeline_dag",
+    "map_reduce_dag",
+    "stencil_sweep_dag",
+]
+
+
+def fft_dag(points_log2: int, task_size: int = 2, comm: int = 1) -> TaskGraph:
+    """An FFT butterfly DAG: ``log2(n)+1`` stages of ``n`` tasks.
+
+    Task ``(stage, i)`` feeds ``(stage+1, i)`` and ``(stage+1, i ^ bit)``,
+    the classic butterfly exchange.
+    """
+    if points_log2 < 1:
+        raise GraphError("points_log2 must be >= 1")
+    n = 1 << points_log2
+    stages = points_log2 + 1
+    sizes = [task_size] * (stages * n)
+    edges = []
+    for s in range(points_log2):
+        bit = 1 << s
+        for i in range(n):
+            u = s * n + i
+            edges.append((u, (s + 1) * n + i, comm))
+            edges.append((u, (s + 1) * n + (i ^ bit), comm))
+    return TaskGraph(sizes, edges, name=f"fft-{n}")
+
+
+def fork_join_dag(
+    width: int, stages: int = 1, task_size: int = 3, comm: int = 1
+) -> TaskGraph:
+    """``stages`` rounds of fork into ``width`` workers and join back.
+
+    Models bulk-synchronous phases: source -> workers -> barrier ->
+    workers -> ... -> sink.
+    """
+    if width < 1 or stages < 1:
+        raise GraphError("width and stages must be >= 1")
+    sizes: list[int] = []
+    edges: list[tuple[int, int, int]] = []
+
+    def task(size: int) -> int:
+        sizes.append(size)
+        return len(sizes) - 1
+
+    prev_join = task(1)
+    for _ in range(stages):
+        workers = [task(task_size) for _ in range(width)]
+        join = task(1)
+        for w in workers:
+            edges.append((prev_join, w, comm))
+            edges.append((w, join, comm))
+        prev_join = join
+    return TaskGraph(sizes, edges, name=f"forkjoin-{width}x{stages}")
+
+
+def divide_conquer_dag(
+    levels: int, task_size: int = 2, comm: int = 1
+) -> TaskGraph:
+    """Binary divide phase followed by a mirrored conquer (merge) phase.
+
+    ``levels`` levels of splitting produce ``2**levels`` leaf tasks; the
+    merge tree joins them back.  Total ``3 * 2**levels - 2`` tasks.
+    """
+    if levels < 1:
+        raise GraphError("levels must be >= 1")
+    sizes: list[int] = []
+    edges: list[tuple[int, int, int]] = []
+
+    def task(size: int) -> int:
+        sizes.append(size)
+        return len(sizes) - 1
+
+    def divide(level: int) -> tuple[int, int]:
+        """Return (divide_root, merge_root) of the sub-problem."""
+        if level == 0:
+            leaf = task(task_size)
+            return leaf, leaf
+        split = task(1)
+        merge = task(1)
+        for _ in range(2):
+            d, m = divide(level - 1)
+            edges.append((split, d, comm))
+            edges.append((m, merge, comm))
+        return split, merge
+
+    divide(levels)
+    return TaskGraph(sizes, edges, name=f"dandc-{levels}")
+
+
+def pipeline_dag(
+    stages: int, items: int, task_size: int = 2, comm: int = 1
+) -> TaskGraph:
+    """A software pipeline: ``items`` flow through ``stages`` stage tasks.
+
+    Task ``(stage, item)`` depends on ``(stage-1, item)`` (dataflow) and
+    ``(stage, item-1)`` (stage occupancy), the standard pipeline DAG.
+    """
+    if stages < 1 or items < 1:
+        raise GraphError("stages and items must be >= 1")
+    sizes = [task_size] * (stages * items)
+    edges = []
+    for s in range(stages):
+        for i in range(items):
+            u = s * items + i
+            if s + 1 < stages:
+                edges.append((u, u + items, comm))
+            if i + 1 < items:
+                edges.append((u, u + 1, comm))
+    return TaskGraph(sizes, edges, name=f"pipeline-{stages}x{items}")
+
+
+def map_reduce_dag(
+    mappers: int, reducers: int, map_size: int = 4, reduce_size: int = 2, comm: int = 1
+) -> TaskGraph:
+    """Source -> mappers -> all-to-all shuffle -> reducers -> sink."""
+    if mappers < 1 or reducers < 1:
+        raise GraphError("mappers and reducers must be >= 1")
+    sizes = [1] + [map_size] * mappers + [reduce_size] * reducers + [1]
+    source = 0
+    first_map = 1
+    first_reduce = 1 + mappers
+    sink = 1 + mappers + reducers
+    edges = []
+    for m in range(mappers):
+        edges.append((source, first_map + m, comm))
+        for r in range(reducers):
+            edges.append((first_map + m, first_reduce + r, comm))
+    for r in range(reducers):
+        edges.append((first_reduce + r, sink, comm))
+    return TaskGraph(sizes, edges, name=f"mapreduce-{mappers}x{reducers}")
+
+
+def stencil_sweep_dag(
+    grid: int, sweeps: int, task_size: int = 2, comm: int = 1
+) -> TaskGraph:
+    """``sweeps`` Jacobi iterations over a ``grid x grid`` domain, unrolled.
+
+    Cell ``(s, r, c)`` depends on its own and von-Neumann-neighbor values
+    from sweep ``s-1`` — the space-time DAG of an iterative stencil.
+    """
+    if grid < 1 or sweeps < 1:
+        raise GraphError("grid and sweeps must be >= 1")
+    n = grid * grid
+    sizes = [task_size] * (sweeps * n)
+    edges = []
+    for s in range(sweeps - 1):
+        for r in range(grid):
+            for c in range(grid):
+                u = s * n + r * grid + c
+                for dr, dc in ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)):
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < grid and 0 <= cc < grid:
+                        edges.append((u, (s + 1) * n + rr * grid + cc, comm))
+    return TaskGraph(sizes, edges, name=f"stencil-{grid}x{sweeps}")

@@ -1,0 +1,245 @@
+"""Linear-algebra task DAGs (the paper's motivating applications).
+
+Reference [11] of the paper (Cosnard et al., "Parallel Gaussian
+Elimination on an MIMD Computer") and [10] (Gerasoulis & Nelken, "Static
+Scheduling for Linear Algebra DAGs") are the workloads the clustering
+literature of the era targeted.  These generators build the standard
+dependence DAGs:
+
+* :func:`gaussian_elimination_dag` — the kji Gaussian elimination DAG:
+  for each pivot step ``k`` a pivot task ``T(k,k)`` produces the
+  multipliers, then one update task ``T(k,j)`` per remaining column ``j``
+  consumes them and feeds step ``k+1``.
+* :func:`cholesky_dag` — the right-looking tiled Cholesky factorization
+  DAG (POTRF/TRSM/SYRK/GEMM tasks).
+* :func:`wavefront_dag` — the classic 2-D wavefront (Gauss-Seidel-style
+  sweep) dependence grid.
+
+Task sizes scale with the amount of arithmetic each task performs (so
+later elimination steps are cheaper), and edge weights scale with the
+data volume transferred — both with tunable unit costs.
+"""
+
+from __future__ import annotations
+
+from ..core.taskgraph import TaskGraph
+from ..utils import GraphError
+
+__all__ = [
+    "gaussian_elimination_dag",
+    "cholesky_dag",
+    "wavefront_dag",
+    "lu_dag",
+    "triangular_solve_dag",
+]
+
+
+def gaussian_elimination_dag(
+    matrix_size: int, flop_cost: int = 1, word_cost: int = 1
+) -> TaskGraph:
+    """Gaussian elimination on an ``n x n`` matrix, one task per (k, j) update.
+
+    Tasks: for ``k = 0..n-2``, a pivot task ``P_k`` (compute multipliers of
+    column ``k``) and update tasks ``U_{k,j}`` for ``j = k+1..n-1`` (apply
+    the multipliers to column ``j``).  Dependencies:
+
+    * ``P_k -> U_{k,j}``      (multipliers broadcast to every column update)
+    * ``U_{k,k+1} -> P_{k+1}`` (next pivot column must be updated first)
+    * ``U_{k,j} -> U_{k+1,j}`` (same column, next step)
+
+    Sizes: pivot ``(n-1-k) * flop_cost`` (one division per row below the
+    diagonal), update ``2 * (n-1-k) * flop_cost``; edges carry
+    ``(n-1-k) * word_cost`` words (the multiplier / column segment).
+    """
+    n = matrix_size
+    if n < 2:
+        raise GraphError("matrix_size must be >= 2")
+
+    ids: dict[tuple[str, int, int], int] = {}
+    sizes: list[int] = []
+
+    def add(kind: str, k: int, j: int, size: int) -> int:
+        ids[(kind, k, j)] = len(sizes)
+        sizes.append(max(1, size))
+        return len(sizes) - 1
+
+    for k in range(n - 1):
+        rows_below = n - 1 - k
+        add("P", k, k, rows_below * flop_cost)
+        for j in range(k + 1, n):
+            add("U", k, j, 2 * rows_below * flop_cost)
+
+    edges: list[tuple[int, int, int]] = []
+    for k in range(n - 1):
+        volume = max(1, (n - 1 - k) * word_cost)
+        pivot = ids[("P", k, k)]
+        for j in range(k + 1, n):
+            edges.append((pivot, ids[("U", k, j)], volume))
+        if k + 1 < n - 1:
+            edges.append((ids[("U", k, k + 1)], ids[("P", k + 1, k + 1)], volume))
+            for j in range(k + 2, n):
+                edges.append((ids[("U", k, j)], ids[("U", k + 1, j)], volume))
+    return TaskGraph(sizes, edges, name=f"gauss-{n}")
+
+
+def cholesky_dag(tiles: int, flop_cost: int = 1, word_cost: int = 1) -> TaskGraph:
+    """Tiled right-looking Cholesky: POTRF/TRSM/SYRK/GEMM task DAG.
+
+    ``tiles`` is the tile-grid dimension; the task count grows as
+    ``O(tiles^3)``.  Standard dependence pattern:
+
+    * ``POTRF(k) -> TRSM(k, i)`` for ``i > k``
+    * ``TRSM(k, i) -> SYRK(k, i)`` and ``-> GEMM(k, i, j)``
+    * ``SYRK(k, i) -> POTRF(i)`` chain via the next step's diagonal
+    * ``GEMM(k, i, j) -> TRSM(k+1, ...)`` via the updated tile
+    """
+    t = tiles
+    if t < 1:
+        raise GraphError("tiles must be >= 1")
+
+    ids: dict[tuple, int] = {}
+    sizes: list[int] = []
+
+    def add(key: tuple, size: int) -> int:
+        ids[key] = len(sizes)
+        sizes.append(max(1, size))
+        return len(sizes) - 1
+
+    # Tile (i, j) with i >= j; writer[(i, j)] is the last task updating it.
+    writer: dict[tuple[int, int], int] = {}
+    edges: list[tuple[int, int, int]] = []
+    tile_words = max(1, word_cost)
+
+    def depend(task: int, tile: tuple[int, int]) -> None:
+        if tile in writer:
+            edges.append((writer[tile], task, tile_words))
+
+    for k in range(t):
+        potrf = add(("POTRF", k), flop_cost)
+        depend(potrf, (k, k))
+        writer[(k, k)] = potrf
+        for i in range(k + 1, t):
+            trsm = add(("TRSM", k, i), 2 * flop_cost)
+            depend(trsm, (i, k))
+            edges.append((potrf, trsm, tile_words))
+            writer[(i, k)] = trsm
+        for i in range(k + 1, t):
+            syrk = add(("SYRK", k, i), 2 * flop_cost)
+            depend(syrk, (i, i))
+            edges.append((writer[(i, k)], syrk, tile_words))
+            writer[(i, i)] = syrk
+            for j in range(k + 1, i):
+                gemm = add(("GEMM", k, i, j), 4 * flop_cost)
+                depend(gemm, (i, j))
+                edges.append((writer[(i, k)], gemm, tile_words))
+                edges.append((writer[(j, k)], gemm, tile_words))
+                writer[(i, j)] = gemm
+    # De-duplicate parallel edges (keep max weight) — GEMM deps can repeat.
+    dedup: dict[tuple[int, int], int] = {}
+    for u, v, w in edges:
+        if u != v:
+            dedup[(u, v)] = max(dedup.get((u, v), 0), w)
+    triples = [(u, v, w) for (u, v), w in sorted(dedup.items())]
+    return TaskGraph(sizes, triples, name=f"cholesky-{t}")
+
+
+def lu_dag(tiles: int, flop_cost: int = 1, word_cost: int = 1) -> TaskGraph:
+    """Tiled LU factorization without pivoting: GETRF/TRSM/GEMM tasks.
+
+    For each step ``k``: ``GETRF(k)`` factors the diagonal tile, feeding
+    row-TRSMs (``k, j``) and column-TRSMs (``i, k``), whose outputs meet
+    in the trailing GEMM updates (``i, j``); the updated tiles feed step
+    ``k + 1``.
+    """
+    t = tiles
+    if t < 1:
+        raise GraphError("tiles must be >= 1")
+    sizes: list[int] = []
+    edges: list[tuple[int, int, int]] = []
+    writer: dict[tuple[int, int], int] = {}
+    words = max(1, word_cost)
+
+    def add(size: int) -> int:
+        sizes.append(max(1, size))
+        return len(sizes) - 1
+
+    def depend(task: int, tile: tuple[int, int]) -> None:
+        if tile in writer:
+            edges.append((writer[tile], task, words))
+
+    for k in range(t):
+        getrf = add(2 * flop_cost)
+        depend(getrf, (k, k))
+        writer[(k, k)] = getrf
+        row_trsm: dict[int, int] = {}
+        col_trsm: dict[int, int] = {}
+        for j in range(k + 1, t):
+            trsm = add(2 * flop_cost)
+            depend(trsm, (k, j))
+            edges.append((getrf, trsm, words))
+            writer[(k, j)] = trsm
+            row_trsm[j] = trsm
+        for i in range(k + 1, t):
+            trsm = add(2 * flop_cost)
+            depend(trsm, (i, k))
+            edges.append((getrf, trsm, words))
+            writer[(i, k)] = trsm
+            col_trsm[i] = trsm
+        for i in range(k + 1, t):
+            for j in range(k + 1, t):
+                gemm = add(4 * flop_cost)
+                depend(gemm, (i, j))
+                edges.append((col_trsm[i], gemm, words))
+                edges.append((row_trsm[j], gemm, words))
+                writer[(i, j)] = gemm
+    dedup: dict[tuple[int, int], int] = {}
+    for u, v, w in edges:
+        if u != v:
+            dedup[(u, v)] = max(dedup.get((u, v), 0), w)
+    triples = [(u, v, w) for (u, v), w in sorted(dedup.items())]
+    return TaskGraph(sizes, triples, name=f"lu-{t}")
+
+
+def triangular_solve_dag(
+    size: int, flop_cost: int = 1, word_cost: int = 1
+) -> TaskGraph:
+    """Forward substitution ``Lx = b``: solve task per row, chained updates.
+
+    Row ``i`` solves after receiving every ``x_j`` (``j < i``) — the
+    densest sequential-looking DAG in the kit; its lower bound is nearly
+    serial, which makes it a good stress test for the termination
+    condition (mappings reach the bound easily).
+    """
+    n = size
+    if n < 1:
+        raise GraphError("size must be >= 1")
+    sizes = [max(1, (i + 1) * flop_cost) for i in range(n)]
+    edges = []
+    for j in range(n):
+        for i in range(j + 1, n):
+            edges.append((j, i, max(1, word_cost)))
+    return TaskGraph(sizes, edges, name=f"trisolve-{n}")
+
+
+def wavefront_dag(
+    rows: int, cols: int, task_size: int = 2, comm: int = 1
+) -> TaskGraph:
+    """A 2-D wavefront: cell (r, c) depends on (r-1, c) and (r, c-1).
+
+    The canonical dependence structure of triangular solves, dynamic
+    programming tables, and Gauss-Seidel sweeps.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("wavefront dimensions must be >= 1")
+    if task_size < 1 or comm < 1:
+        raise GraphError("task_size and comm must be >= 1")
+    sizes = [task_size] * (rows * cols)
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if r + 1 < rows:
+                edges.append((u, u + cols, comm))
+            if c + 1 < cols:
+                edges.append((u, u + 1, comm))
+    return TaskGraph(sizes, edges, name=f"wavefront-{rows}x{cols}")

@@ -1,0 +1,205 @@
+"""Random problem-graph generators (paper Sec. 5).
+
+The paper evaluates on "random problem graphs" with 30-300 nodes whose
+node and edge weights are "produced randomly"; no further parameters are
+published.  :func:`layered_random_dag` is our reconstruction of the usual
+1990s random-task-graph recipe (and what the experiment harness uses):
+tasks are arranged in layers, every task gets at least one predecessor in
+an earlier layer (so the DAG is connected and has real precedence
+chains), and extra forward edges are sprinkled with a density knob.
+
+:func:`gnp_dag` (Erdős–Rényi over a random topological order) and
+:func:`series_parallel_dag` round out the family for tests and ablations:
+G(n,p) DAGs stress wide graphs with little structure, series-parallel
+DAGs stress deep dependency chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.taskgraph import TaskGraph
+from ..utils import GraphError, as_rng
+
+__all__ = ["layered_random_dag", "gnp_dag", "series_parallel_dag"]
+
+
+def layered_random_dag(
+    num_tasks: int,
+    num_layers: int | None = None,
+    extra_edge_prob: float | None = None,
+    extra_edges_per_task: float = 1.5,
+    task_size_range: tuple[int, int] = (1, 10),
+    comm_range: tuple[int, int] = (1, 10),
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> TaskGraph:
+    """A layered random task DAG (the experiments' problem-graph generator).
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of tasks (the paper uses 30-300).
+    num_layers:
+        Number of precedence layers; defaults to ``round(sqrt(num_tasks))``
+        which keeps width and depth balanced.
+    extra_edge_prob:
+        Probability of each additional forward (layer-skipping allowed)
+        edge beyond the spanning edges that tie every non-entry task to an
+        earlier layer.  Default ``None`` derives it from
+        ``extra_edges_per_task`` so the *mean degree stays constant* as
+        graphs grow — a fixed probability over the O(n^2) forward pairs
+        would make 300-task graphs an order of magnitude denser than
+        30-task ones, which is neither realistic for compiler-generated
+        task graphs nor consistent with the paper's reported mapping
+        quality (see DESIGN.md Sec. 4).
+    extra_edges_per_task:
+        Expected number of extra edges per task when ``extra_edge_prob``
+        is derived; the default 1.5 plus one spanning edge per non-entry
+        task yields a mean undirected degree around 3-5.
+    task_size_range, comm_range:
+        Inclusive integer ranges for node and edge weights.
+    """
+    if num_tasks < 1:
+        raise GraphError("num_tasks must be >= 1")
+    if extra_edges_per_task < 0:
+        raise GraphError("extra_edges_per_task must be >= 0")
+    gen = as_rng(rng)
+    layers = _partition_layers(num_tasks, num_layers, gen)
+    if extra_edge_prob is None:
+        layer_of_tmp = np.empty(num_tasks, dtype=np.int64)
+        for li, layer in enumerate(layers):
+            layer_of_tmp[layer] = li
+        widths = np.asarray([layer.size for layer in layers], dtype=np.int64)
+        later = np.concatenate(([0], np.cumsum(widths[::-1])[:-1]))[::-1]
+        forward_pairs = int((widths * (later)).sum())
+        extra_edge_prob = (
+            min(1.0, extra_edges_per_task * num_tasks / forward_pairs)
+            if forward_pairs
+            else 0.0
+        )
+    lo_w, hi_w = task_size_range
+    lo_c, hi_c = comm_range
+    if lo_w < 1 or hi_w < lo_w or lo_c < 1 or hi_c < lo_c:
+        raise GraphError("weight ranges must satisfy 1 <= lo <= hi")
+
+    sizes = gen.integers(lo_w, hi_w + 1, size=num_tasks)
+    edges: dict[tuple[int, int], int] = {}
+
+    layer_of = np.empty(num_tasks, dtype=np.int64)
+    for li, layer in enumerate(layers):
+        layer_of[layer] = li
+
+    # Spanning edges: every non-entry task depends on someone earlier.
+    for li in range(1, len(layers)):
+        earlier = np.concatenate(layers[:li])
+        for t in layers[li].tolist():
+            src = int(earlier[gen.integers(0, earlier.size)])
+            edges[(src, t)] = int(gen.integers(lo_c, hi_c + 1))
+
+    # Extra forward edges between any pair in strictly increasing layers.
+    for u in range(num_tasks):
+        for v in range(num_tasks):
+            if layer_of[u] < layer_of[v] and (u, v) not in edges:
+                if gen.random() < extra_edge_prob:
+                    edges[(u, v)] = int(gen.integers(lo_c, hi_c + 1))
+
+    triples = [(u, v, w) for (u, v), w in sorted(edges.items())]
+    return TaskGraph(
+        sizes, triples, name=name or f"layered-{num_tasks}"
+    )
+
+
+def gnp_dag(
+    num_tasks: int,
+    edge_prob: float = 0.1,
+    task_size_range: tuple[int, int] = (1, 10),
+    comm_range: tuple[int, int] = (1, 10),
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> TaskGraph:
+    """G(n, p) DAG: each forward pair (in a random order) is an edge w.p. ``p``.
+
+    Isolated tasks are possible (and legitimate — independent jobs); use
+    :func:`layered_random_dag` when connectivity is required.
+    """
+    if num_tasks < 1:
+        raise GraphError("num_tasks must be >= 1")
+    if not 0.0 <= edge_prob <= 1.0:
+        raise GraphError("edge_prob must be in [0, 1]")
+    gen = as_rng(rng)
+    order = gen.permutation(num_tasks)
+    lo_w, hi_w = task_size_range
+    lo_c, hi_c = comm_range
+    sizes = gen.integers(lo_w, hi_w + 1, size=num_tasks)
+    edges = []
+    for i in range(num_tasks):
+        for j in range(i + 1, num_tasks):
+            if gen.random() < edge_prob:
+                edges.append(
+                    (int(order[i]), int(order[j]), int(gen.integers(lo_c, hi_c + 1)))
+                )
+    return TaskGraph(sizes, edges, name=name or f"gnp-{num_tasks}")
+
+
+def series_parallel_dag(
+    depth: int,
+    branching: int = 2,
+    task_size_range: tuple[int, int] = (1, 10),
+    comm_range: tuple[int, int] = (1, 10),
+    rng: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> TaskGraph:
+    """Recursive series-parallel DAG: fork ``branching`` ways, then join.
+
+    ``depth`` levels of fork/join produce ``2 + branching * (size(depth-1))``
+    tasks; at depth 0 a single task.  Models divide-and-conquer workloads
+    with explicit join synchronization points.
+    """
+    if depth < 0 or branching < 1:
+        raise GraphError("depth must be >= 0 and branching >= 1")
+    gen = as_rng(rng)
+    lo_w, hi_w = task_size_range
+    lo_c, hi_c = comm_range
+
+    sizes: list[int] = []
+    edges: list[tuple[int, int, int]] = []
+
+    def new_task() -> int:
+        sizes.append(int(gen.integers(lo_w, hi_w + 1)))
+        return len(sizes) - 1
+
+    def weight() -> int:
+        return int(gen.integers(lo_c, hi_c + 1))
+
+    def build(d: int) -> tuple[int, int]:
+        """Return (entry, exit) task ids of a depth-``d`` block."""
+        if d == 0:
+            t = new_task()
+            return t, t
+        fork = new_task()
+        join = new_task()
+        for _ in range(branching):
+            entry, exit_ = build(d - 1)
+            edges.append((fork, entry, weight()))
+            edges.append((exit_, join, weight()))
+        return fork, join
+
+    build(depth)
+    return TaskGraph(sizes, edges, name=name or f"sp-{depth}x{branching}")
+
+
+def _partition_layers(
+    num_tasks: int, num_layers: int | None, gen: np.random.Generator
+) -> list[np.ndarray]:
+    """Split ``0..num_tasks-1`` into non-empty consecutive layers."""
+    if num_layers is None:
+        num_layers = max(1, int(round(num_tasks**0.5)))
+    num_layers = min(num_layers, num_tasks)
+    if num_layers < 1:
+        raise GraphError("num_layers must be >= 1")
+    # Random cut points give variable layer widths, min width 1.
+    cuts = np.sort(gen.choice(np.arange(1, num_tasks), size=num_layers - 1, replace=False))
+    bounds = np.concatenate(([0], cuts, [num_tasks]))
+    ids = np.arange(num_tasks)
+    return [ids[bounds[i] : bounds[i + 1]] for i in range(num_layers)]

@@ -1,0 +1,82 @@
+"""Tree-shaped task DAGs: reductions, broadcasts, and lattices.
+
+The remaining canonical shapes of the scheduling literature:
+
+* :func:`reduction_tree` — an in-tree: leaves combine pairwise (or
+  k-wise) up to a single root, the skeleton of every parallel reduction.
+* :func:`broadcast_tree` — an out-tree: one root fans data out to all
+  leaves, the dual of the reduction.
+* :func:`diamond_lattice` — the diamond DAG of dynamic-programming
+  dependence studies: out-fan to a middle layer, then in-fan; stresses
+  mappings with one wide synchronization-free phase.
+"""
+
+from __future__ import annotations
+
+from ..core.taskgraph import TaskGraph
+from ..utils import GraphError
+
+__all__ = ["reduction_tree", "broadcast_tree", "diamond_lattice"]
+
+
+def reduction_tree(
+    leaves: int, arity: int = 2, task_size: int = 2, comm: int = 1
+) -> TaskGraph:
+    """An in-tree reduction of ``leaves`` inputs with the given arity.
+
+    Internal combine nodes are created level by level until one root
+    remains; a final level may combine fewer than ``arity`` children.
+    """
+    if leaves < 1 or arity < 2:
+        raise GraphError("need leaves >= 1 and arity >= 2")
+    if task_size < 1 or comm < 1:
+        raise GraphError("task_size and comm must be >= 1")
+    sizes: list[int] = [task_size] * leaves
+    edges: list[tuple[int, int, int]] = []
+    frontier = list(range(leaves))
+    while len(frontier) > 1:
+        nxt: list[int] = []
+        for i in range(0, len(frontier), arity):
+            group = frontier[i : i + arity]
+            if len(group) == 1:
+                nxt.extend(group)
+                continue
+            parent = len(sizes)
+            sizes.append(task_size)
+            for child in group:
+                edges.append((child, parent, comm))
+            nxt.append(parent)
+        frontier = nxt
+    return TaskGraph(sizes, edges, name=f"reduce-{leaves}x{arity}")
+
+
+def broadcast_tree(
+    leaves: int, arity: int = 2, task_size: int = 2, comm: int = 1
+) -> TaskGraph:
+    """An out-tree broadcast to ``leaves`` receivers (dual of the reduction)."""
+    reduction = reduction_tree(leaves, arity, task_size, comm)
+    n = reduction.num_tasks
+    # Reverse every edge and renumber so the (old) root becomes task 0.
+    order = list(range(n))[::-1]
+    reversed_edges = [
+        (n - 1 - e.dst, n - 1 - e.src, e.weight) for e in reduction.edges()
+    ]
+    sizes = reduction.task_sizes[::-1].copy()
+    g = TaskGraph(sizes, reversed_edges, name=f"broadcast-{leaves}x{arity}")
+    return g
+
+
+def diamond_lattice(
+    width: int, task_size: int = 2, comm: int = 1
+) -> TaskGraph:
+    """source -> ``width`` parallel middles -> sink (a 1-level diamond)."""
+    if width < 1:
+        raise GraphError("width must be >= 1")
+    if task_size < 1 or comm < 1:
+        raise GraphError("task_size and comm must be >= 1")
+    sizes = [1] + [task_size] * width + [1]
+    edges = []
+    for m in range(width):
+        edges.append((0, 1 + m, comm))
+        edges.append((1 + m, width + 1, comm))
+    return TaskGraph(sizes, edges, name=f"diamond-{width}")

@@ -1,0 +1,72 @@
+"""Shared fixtures: small hand-checkable instances used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import RandomClusterer
+from repro.core import Assignment, ClusteredGraph, Clustering, TaskGraph
+from repro.topology import SystemGraph, hypercube, mesh2d, ring
+from repro.workloads import layered_random_dag
+
+
+@pytest.fixture
+def diamond_graph() -> TaskGraph:
+    """The smallest interesting DAG: 0 -> {1, 2} -> 3.
+
+    Sizes 2/3/1/2; edges (0,1)=1, (0,2)=2, (1,3)=2, (2,3)=1.
+    Hand-computed ideal schedule (four singleton clusters):
+        task 0: [0, 2)        task 1: [3, 6)
+        task 2: [4, 5)        task 3: [8, 10)   (via 1: 6+2=8; via 2: 5+1=6)
+    """
+    return TaskGraph([2, 3, 1, 2], [(0, 1, 1), (0, 2, 2), (1, 3, 2), (2, 3, 1)])
+
+
+@pytest.fixture
+def diamond_clustered(diamond_graph: TaskGraph) -> ClusteredGraph:
+    """Diamond graph with singleton clusters (na == np == 4)."""
+    return ClusteredGraph(diamond_graph, Clustering([0, 1, 2, 3]))
+
+
+@pytest.fixture
+def chain_graph() -> TaskGraph:
+    """A 4-task chain with unit sizes and weights 3, 1, 2."""
+    return TaskGraph([1, 1, 1, 1], [(0, 1, 3), (1, 2, 1), (2, 3, 2)])
+
+
+@pytest.fixture
+def ring4() -> SystemGraph:
+    return ring(4)
+
+
+@pytest.fixture
+def q3() -> SystemGraph:
+    return hypercube(3)
+
+
+@pytest.fixture
+def mesh23() -> SystemGraph:
+    return mesh2d(2, 3)
+
+
+@pytest.fixture
+def medium_instance() -> tuple[ClusteredGraph, SystemGraph]:
+    """A seeded 60-task instance on a 3-cube, shared by integration tests."""
+    graph = layered_random_dag(num_tasks=60, rng=123)
+    clustering = RandomClusterer(num_clusters=8).cluster(graph, rng=123)
+    return ClusteredGraph(graph, clustering), hypercube(3)
+
+
+def random_instance(
+    seed: int,
+    num_tasks: int = 40,
+    system: SystemGraph | None = None,
+) -> tuple[ClusteredGraph, SystemGraph]:
+    """Helper (not a fixture) for parameterized randomized tests."""
+    system = system or hypercube(3)
+    graph = layered_random_dag(num_tasks=num_tasks, rng=seed)
+    clustering = RandomClusterer(num_clusters=system.num_nodes).cluster(
+        graph, rng=seed
+    )
+    return ClusteredGraph(graph, clustering), system

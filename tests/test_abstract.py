@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.abstract (AbstractGraph)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AbstractGraph, ClusteredGraph, Clustering, TaskGraph
+
+
+@pytest.fixture
+def two_cluster(diamond_graph):
+    """Diamond with clusters {0,1} and {2,3}; cut edges (0,2)=2 and (1,3)=2."""
+    return AbstractGraph(ClusteredGraph(diamond_graph, Clustering([0, 0, 1, 1])))
+
+
+class TestAbstractGraph:
+    def test_adjacency(self, two_cluster):
+        assert two_cluster.num_nodes == 2
+        assert two_cluster.has_edge(0, 1)
+        assert two_cluster.num_edges() == 1
+
+    def test_weights_symmetric_and_summed(self, two_cluster):
+        # Both directions of the cut edges accumulate: (0,2)+(1,3) = 4.
+        assert two_cluster.weights[0, 1] == 4
+        assert two_cluster.weights[1, 0] == 4
+
+    def test_mca(self, two_cluster):
+        assert two_cluster.mca.tolist() == [4, 4]
+
+    def test_neighbors(self, two_cluster):
+        assert two_cluster.neighbors(0).tolist() == [1]
+
+    def test_isolated_cluster(self):
+        g = TaskGraph([1, 1, 1], [(0, 1, 5)])
+        ab = AbstractGraph(ClusteredGraph(g, Clustering([0, 0, 1])))
+        assert ab.mca.tolist() == [0, 0]
+        assert not ab.has_edge(0, 1)
+        assert ab.num_edges() == 0
+
+    def test_singleton_clusters_mirror_graph(self, diamond_graph):
+        ab = AbstractGraph(
+            ClusteredGraph(diamond_graph, Clustering([0, 1, 2, 3]))
+        )
+        # Abstract adjacency == undirected problem adjacency.
+        undirected = (diamond_graph.prob_edge + diamond_graph.prob_edge.T) > 0
+        assert np.array_equal(ab.abs_edge > 0, undirected)
+        # mca == per-node total incident weight.
+        expected = (diamond_graph.prob_edge + diamond_graph.prob_edge.T).sum(axis=1)
+        assert np.array_equal(ab.mca, expected)
+
+    def test_paper_example_mca(self):
+        from repro.workloads import running_example_clustered
+
+        ab = AbstractGraph(running_example_clustered())
+        assert ab.mca.tolist() == [14, 11, 16, 7]
+        assert ab.mca[1] == 11  # the entry Fig. 20-c confirms
+
+    def test_weights_read_only(self, two_cluster):
+        with pytest.raises(ValueError):
+            two_cluster.weights[0, 1] = 3
+        with pytest.raises(ValueError):
+            two_cluster.abs_edge[0, 1] = 3
+        with pytest.raises(ValueError):
+            two_cluster.mca[0] = 3

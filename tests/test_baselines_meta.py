@@ -1,0 +1,130 @@
+"""Unit tests for the metaheuristic baselines (genetic, tabu)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    genetic_mapping,
+    order_crossover,
+    tabu_mapping,
+)
+from repro.core import Assignment, lower_bound, total_time
+from tests.conftest import random_instance
+
+
+class TestOrderCrossover:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_permutation(self, seed):
+        gen = np.random.default_rng(seed)
+        a = gen.permutation(8)
+        b = gen.permutation(8)
+        child = order_crossover(a, b, gen)
+        assert sorted(child.tolist()) == list(range(8))
+
+    def test_inherits_slice_from_first_parent(self):
+        gen = np.random.default_rng(0)
+        a = np.arange(10)
+        b = np.arange(10)[::-1].copy()
+        child = order_crossover(a, b, gen)
+        # Wherever the kept slice is, those positions match parent A.
+        matches = child == a
+        assert matches.any()
+
+    def test_identical_parents_identity(self):
+        gen = np.random.default_rng(1)
+        a = np.asarray([3, 1, 0, 2])
+        child = order_crossover(a, a.copy(), gen)
+        assert child.tolist() == a.tolist()
+
+    def test_single_gene(self):
+        gen = np.random.default_rng(2)
+        child = order_crossover(np.asarray([0]), np.asarray([0]), gen)
+        assert child.tolist() == [0]
+
+
+class TestGenetic:
+    def test_result_consistent(self):
+        clustered, system = random_instance(0)
+        result = genetic_mapping(clustered, system, rng=0, generations=10)
+        assert result.total_time == total_time(
+            clustered, system, result.assignment
+        )
+        assert result.total_time >= lower_bound(clustered)
+        assert result.evaluations > 0
+
+    def test_early_termination_at_bound(self):
+        from repro.workloads import running_example_clustered, running_example_system
+
+        clustered = running_example_clustered()
+        system = running_example_system()
+        bound = lower_bound(clustered)
+        result = genetic_mapping(
+            clustered, system, rng=0, lower_bound=bound, generations=200
+        )
+        assert result.reached_lower_bound
+        assert result.total_time == bound
+
+    def test_beats_single_random_usually(self):
+        wins = 0
+        for seed in range(5):
+            clustered, system = random_instance(seed)
+            ga = genetic_mapping(clustered, system, rng=seed, generations=15)
+            rand_time = total_time(
+                clustered, system, Assignment.random(system.num_nodes, rng=seed)
+            )
+            wins += ga.total_time <= rand_time
+        assert wins >= 4
+
+    def test_deterministic_by_seed(self):
+        clustered, system = random_instance(1)
+        a = genetic_mapping(clustered, system, rng=5, generations=5)
+        b = genetic_mapping(clustered, system, rng=5, generations=5)
+        assert a.total_time == b.total_time
+
+    def test_bad_population(self):
+        clustered, system = random_instance(0)
+        with pytest.raises(ValueError):
+            genetic_mapping(clustered, system, population=1)
+
+
+class TestTabu:
+    def test_result_consistent(self):
+        clustered, system = random_instance(0)
+        result = tabu_mapping(clustered, system, rng=0, iterations=10)
+        assert result.total_time == total_time(
+            clustered, system, result.assignment
+        )
+        assert result.total_time >= lower_bound(clustered)
+
+    def test_never_worse_than_initial(self):
+        clustered, system = random_instance(1)
+        start = Assignment.random(system.num_nodes, rng=9)
+        start_time = total_time(clustered, system, start)
+        result = tabu_mapping(
+            clustered, system, rng=1, initial=start, iterations=15
+        )
+        assert result.total_time <= start_time
+
+    def test_early_termination_at_bound(self):
+        from repro.workloads import running_example_clustered, running_example_system
+
+        clustered = running_example_clustered()
+        system = running_example_system()
+        bound = lower_bound(clustered)
+        result = tabu_mapping(clustered, system, rng=0, lower_bound=bound)
+        assert result.reached_lower_bound
+
+    def test_escapes_local_optimum(self):
+        """Tabu memory must allow uphill moves: final best over a long run
+        is at least as good as a pure greedy (quench) from the same start."""
+        from repro.baselines import anneal_mapping
+
+        clustered, system = random_instance(2)
+        start = Assignment.random(system.num_nodes, rng=3)
+        greedy = anneal_mapping(
+            clustered, system, rng=3, initial=start, quench=True
+        )
+        tabu = tabu_mapping(
+            clustered, system, rng=3, initial=start, iterations=40
+        )
+        assert tabu.total_time <= greedy.total_time + 2

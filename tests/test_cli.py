@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_args(self):
+        args = build_parser().parse_args(["table1", "--seed", "7", "--rows", "2"])
+        assert args.command == "table1"
+        assert args.seed == 7
+        assert args.rows == 2
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableau"])
+
+
+class TestCommands:
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL MILESTONES PASS             : True" in out
+
+    def test_matrices(self, capsys):
+        assert main(["matrices"]) == 0
+        out = capsys.readouterr().out
+        assert "prob_edge (Fig. 18)" in out
+        assert "assi (Fig. 23-b)" in out
+
+    def test_counterexamples(self, capsys):
+        assert main(["counterexamples"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("phenomenon HOLDS") == 2
+
+    def test_table_small(self, capsys):
+        assert main(["table1", "--seed", "1", "--rows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Fig. 25" in out
+
+    def test_table_no_figure(self, capsys):
+        assert main(["table2", "--seed", "1", "--rows", "2", "--no-figure"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Fig. 26" not in out
+
+    def test_map_command(self, capsys):
+        assert (
+            main(
+                [
+                    "map", "--tasks", "30", "--topology", "ring", "--size", "5",
+                    "--seed", "3", "--clusterer", "band", "--gantt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "lower bound:" in out
+        assert "speedup" in out
+        assert "time |" in out  # the gantt chart
+
+    def test_map_bad_clusterer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "--clusterer", "magic"])
+
+    def test_sensitivity_parses(self):
+        args = build_parser().parse_args(["sensitivity", "--seed", "2"])
+        assert args.command == "sensitivity"
+        assert args.seed == 2

@@ -1,0 +1,41 @@
+"""Tests for the clustering-impact experiment."""
+
+from repro.experiments import (
+    format_clustering_study,
+    run_clustering_study,
+)
+from repro.topology import mesh2d
+from repro.workloads import wavefront_dag
+
+
+class TestClusteringStudy:
+    def test_all_combinations_present(self):
+        rows = run_clustering_study(
+            rng=0, system=mesh2d(2, 2), workloads=[wavefront_dag(4, 4)]
+        )
+        assert len(rows) == 6  # six clusterers
+        assert len({r.clusterer for r in rows}) == 6
+
+    def test_rows_internally_consistent(self):
+        rows = run_clustering_study(
+            rng=0, system=mesh2d(2, 2), workloads=[wavefront_dag(4, 4)]
+        )
+        for r in rows:
+            assert r.total_time >= r.lower_bound
+            assert r.reached_lower_bound == (r.total_time == r.lower_bound)
+            assert r.cut_weight >= 0
+
+    def test_format(self):
+        rows = run_clustering_study(
+            rng=0, system=mesh2d(2, 2), workloads=[wavefront_dag(4, 4)]
+        )
+        text = format_clustering_study(rows)
+        assert "Clustering impact" in text
+        assert "edge_zero" in text
+
+    def test_edge_zero_lowers_cut(self):
+        rows = run_clustering_study(
+            rng=1, system=mesh2d(2, 2), workloads=[wavefront_dag(5, 5)]
+        )
+        cuts = {r.clusterer: r.cut_weight for r in rows}
+        assert cuts["edge_zero"] <= cuts["random"]

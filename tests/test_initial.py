@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.initial (the three-phase initial assignment)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AbstractGraph,
+    ClusteredGraph,
+    Clustering,
+    TaskGraph,
+    analyze_criticality,
+    initial_assignment,
+)
+from repro.core.refine import critical_abstract_nodes
+from repro.topology import chain, hypercube, ring, star
+from repro.utils import MappingError
+from tests.conftest import random_instance
+
+
+def _pipeline(clustered):
+    abstract = AbstractGraph(clustered)
+    analysis = analyze_criticality(clustered)
+    return abstract, analysis
+
+
+class TestInitialAssignment:
+    def test_returns_bijection(self):
+        for seed in range(8):
+            clustered, system = random_instance(seed)
+            abstract, analysis = _pipeline(clustered)
+            a = initial_assignment(abstract, analysis, system, rng=seed)
+            assert sorted(a.assi.tolist()) == list(range(system.num_nodes))
+
+    def test_deterministic_without_rng(self, medium_instance):
+        clustered, system = medium_instance
+        abstract, analysis = _pipeline(clustered)
+        a = initial_assignment(abstract, analysis, system)
+        b = initial_assignment(abstract, analysis, system)
+        assert a == b
+
+    def test_deterministic_with_seed(self, medium_instance):
+        clustered, system = medium_instance
+        abstract, analysis = _pipeline(clustered)
+        a = initial_assignment(abstract, analysis, system, rng=5)
+        b = initial_assignment(abstract, analysis, system, rng=5)
+        assert a == b
+
+    def test_na_ns_mismatch_rejected(self, diamond_clustered):
+        abstract, analysis = _pipeline(diamond_clustered)
+        with pytest.raises(MappingError):
+            initial_assignment(abstract, analysis, ring(5))
+
+    def test_bad_tie_break_rejected(self, diamond_clustered, ring4):
+        abstract, analysis = _pipeline(diamond_clustered)
+        with pytest.raises(ValueError, match="tie_break"):
+            initial_assignment(abstract, analysis, ring4, tie_break="best")
+
+    def test_seed_cluster_has_max_critical_degree(self, diamond_clustered):
+        """Phase 1 pairs the max-critical-degree cluster with a max-degree
+        processor (on a star, that is the hub)."""
+        abstract, analysis = _pipeline(diamond_clustered)
+        system = star(4)
+        a = initial_assignment(abstract, analysis, system)
+        top_cluster = int(np.argmax(analysis.critical_degree))
+        assert a.system_of(top_cluster) == 0  # the hub
+
+    def test_critical_chain_lands_on_single_edges(self, diamond_clustered):
+        """On a chain machine, the diamond's critical path 0->1->3 (three
+        clusters) must occupy adjacent processors."""
+        system = chain(4)
+        abstract, analysis = _pipeline(diamond_clustered)
+        a = initial_assignment(abstract, analysis, system)
+        assert system.distance(a.system_of(0), a.system_of(1)) == 1
+        assert system.distance(a.system_of(1), a.system_of(3)) == 1
+
+    def test_pinned_nodes_follow_definition5(self, medium_instance):
+        clustered, system = medium_instance
+        abstract, analysis = _pipeline(clustered)
+        a = initial_assignment(abstract, analysis, system, rng=3)
+        pinned = critical_abstract_nodes(analysis, system, a)
+        c_abs = analysis.c_abs_edge
+        for node in range(abstract.num_nodes):
+            expected = any(
+                c_abs[node, other] > 0
+                and system.distance(a.system_of(node), a.system_of(other)) == 1
+                for other in range(abstract.num_nodes)
+            )
+            assert pinned[node] == expected
+
+    def test_no_critical_edges_still_works(self):
+        """With guidance zeroed the algorithm must still place everything."""
+        g = TaskGraph([1, 1, 1, 1])  # four independent tasks, no edges
+        cg = ClusteredGraph(g, Clustering([0, 1, 2, 3]))
+        abstract, analysis = _pipeline(cg)
+        a = initial_assignment(abstract, analysis, ring(4))
+        assert sorted(a.assi.tolist()) == [0, 1, 2, 3]
+
+    def test_disconnected_abstract_graph(self):
+        """Two independent chains -> disconnected abstract graph; the
+        fallback seeds a second component."""
+        g = TaskGraph(
+            [1, 1, 1, 1],
+            [(0, 1, 3), (2, 3, 3)],
+        )
+        cg = ClusteredGraph(g, Clustering([0, 1, 2, 3]))
+        abstract, analysis = _pipeline(cg)
+        a = initial_assignment(abstract, analysis, ring(4))
+        assert sorted(a.assi.tolist()) == [0, 1, 2, 3]
+
+    def test_affinity_beats_or_matches_degree_on_average(self):
+        """The affinity tie-break should not be worse than the literal
+        degree rule in aggregate (it was designed to dominate it)."""
+        from repro.core import total_time
+
+        wins = 0
+        total = 0
+        for seed in range(10):
+            clustered, system = random_instance(seed, system=hypercube(3))
+            abstract, analysis = _pipeline(clustered)
+            aff = initial_assignment(
+                abstract, analysis, system, tie_break="affinity"
+            )
+            deg = initial_assignment(abstract, analysis, system, tie_break="degree")
+            t_aff = total_time(clustered, system, aff)
+            t_deg = total_time(clustered, system, deg)
+            wins += t_aff <= t_deg
+            total += 1
+        assert wins >= total * 0.6
+
+    def test_paper_example_reaches_lower_bound(self):
+        from repro.core import total_time
+        from repro.workloads import running_example_clustered, running_example_system
+
+        clustered = running_example_clustered()
+        system = running_example_system()
+        abstract, analysis = _pipeline(clustered)
+        a = initial_assignment(abstract, analysis, system)
+        assert total_time(clustered, system, a) == 14  # Fig. 24

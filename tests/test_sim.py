@@ -1,0 +1,203 @@
+"""Unit tests for the repro.sim package (events, machine, engine, trace)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Assignment,
+    ClusteredGraph,
+    Clustering,
+    TaskGraph,
+    evaluate_assignment,
+)
+from repro.sim import EventKind, EventQueue, MimdMachine, SimConfig, simulate
+from repro.topology import chain, complete, hypercube, ring
+from tests.conftest import random_instance
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5, EventKind.TASK_READY, "b")
+        q.push(2, EventKind.TASK_READY, "a")
+        q.push(9, EventKind.TASK_READY, "c")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        for tag in ("x", "y", "z"):
+            q.push(1, EventKind.TASK_READY, tag)
+        assert [q.pop().payload for _ in range(3)] == ["x", "y", "z"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1, EventKind.TASK_READY)
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0, EventKind.TASK_READY)
+        assert q and len(q) == 1
+
+
+class TestMachine:
+    def test_route_cached_and_valid(self):
+        m = MimdMachine(ring(6))
+        route = m.route(0, 3)
+        assert route[0] == 0 and route[-1] == 3
+        assert len(route) - 1 == 3
+        assert m.route(0, 3) is m.route(0, 3)  # cache hit
+
+    def test_link_acquisition_serializes(self):
+        m = MimdMachine(chain(2))
+        first = m.acquire_link(0, 1, request_time=0, duration=5)
+        second = m.acquire_link(0, 1, request_time=0, duration=5)
+        assert first == 0
+        assert second == 5  # waits for the first transfer
+
+    def test_directions_independent(self):
+        m = MimdMachine(chain(2))
+        assert m.acquire_link(0, 1, 0, 5) == 0
+        assert m.acquire_link(1, 0, 0, 5) == 0  # full duplex
+
+    def test_utilization(self):
+        m = MimdMachine(chain(2))
+        m.acquire_link(0, 1, 0, 5)
+        assert m.max_link_utilization(makespan=10) == pytest.approx(0.5)
+        m.reset_links()
+        assert m.max_link_utilization(10) == 0.0
+
+
+class TestEngineCorrectness:
+    def test_paper_mode_equals_analytic(self):
+        """The central validation: contention-free DES == Sec. 4.3.4."""
+        for seed in range(6):
+            clustered, system = random_instance(seed)
+            a = Assignment.random(system.num_nodes, rng=seed)
+            sched = evaluate_assignment(clustered, system, a)
+            sim = simulate(clustered, system, a)
+            assert sim.makespan == sched.total_time
+            assert np.array_equal(sim.start, sched.start)
+            assert np.array_equal(sim.end, sched.end)
+
+    def test_relaxations_only_delay(self):
+        for seed in range(6):
+            clustered, system = random_instance(seed)
+            a = Assignment.random(system.num_nodes, rng=seed)
+            base = simulate(clustered, system, a).makespan
+            for config in (
+                SimConfig(serialize_processors=True),
+                SimConfig(link_contention=True),
+                SimConfig(True, True),
+            ):
+                assert simulate(clustered, system, a, config).makespan >= base
+
+    def test_serialization_no_processor_overlap(self):
+        clustered, system = random_instance(2)
+        a = Assignment.random(system.num_nodes, rng=2)
+        sim = simulate(clustered, system, a, SimConfig(serialize_processors=True))
+        by_proc = sim.trace.tasks_by_processor()
+        for records in by_proc.values():
+            for first, second in zip(records, records[1:]):
+                assert second.start >= first.end
+
+    def test_contention_no_link_overlap(self):
+        clustered, system = random_instance(3)
+        a = Assignment.random(system.num_nodes, rng=3)
+        sim = simulate(clustered, system, a, SimConfig(link_contention=True))
+        per_link: dict = {}
+        for rec in sim.trace.transfers:
+            per_link.setdefault(rec.link, []).append((rec.start, rec.end))
+        for intervals in per_link.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1
+
+    def test_two_tasks_same_processor_overlap_in_paper_mode(self):
+        g = TaskGraph([5, 5])  # two independent tasks
+        cg = ClusteredGraph(g, Clustering([0, 0]))
+        from repro.topology import SystemGraph
+
+        system = SystemGraph(np.zeros((1, 1), dtype=int))
+        paper = simulate(cg, system, Assignment.identity(1))
+        assert paper.makespan == 5
+        serial = simulate(
+            cg, system, Assignment.identity(1), SimConfig(serialize_processors=True)
+        )
+        assert serial.makespan == 10
+
+    def test_store_and_forward_hop_cost(self):
+        """A single w-weight message over d hops takes w*d, matching comm."""
+        g = TaskGraph([1, 1, 1], [(0, 1, 4)])  # task 2 is an isolated filler
+        cg = ClusteredGraph(g, Clustering([0, 1, 2]))
+        system = chain(3)  # clusters 0 and 1 at the two ends: distance 2
+        a = Assignment.from_placement([0, 2, 1])
+        sim = simulate(cg, system, a)
+        assert sim.makespan == 1 + 4 * 2 + 1
+        assert len(sim.trace.transfers) == 2  # one record per hop
+
+    def test_trace_complete(self):
+        clustered, system = random_instance(4)
+        a = Assignment.random(system.num_nodes, rng=4)
+        sim = simulate(clustered, system, a)
+        assert len(sim.trace.tasks) == clustered.num_tasks
+        seen = sorted(rec.task for rec in sim.trace.tasks)
+        assert seen == list(range(clustered.num_tasks))
+
+    def test_trace_totals(self):
+        clustered, system = random_instance(5)
+        a = Assignment.random(system.num_nodes, rng=5)
+        sim = simulate(clustered, system, a)
+        sched = evaluate_assignment(clustered, system, a)
+        assert sim.trace.total_transfer_time() == sched.communication_volume()
+
+    def test_busiest_link(self):
+        clustered, system = random_instance(6)
+        a = Assignment.random(system.num_nodes, rng=6)
+        sim = simulate(clustered, system, a)
+        busiest = sim.trace.busiest_link()
+        if sim.trace.transfers:
+            link, busy = busiest
+            assert busy > 0
+        else:  # pragma: no cover - degenerate instance
+            assert busiest is None
+
+    def test_deterministic(self):
+        clustered, system = random_instance(7)
+        a = Assignment.random(system.num_nodes, rng=7)
+        cfg = SimConfig(True, True)
+        s1 = simulate(clustered, system, a, cfg)
+        s2 = simulate(clustered, system, a, cfg)
+        assert s1.makespan == s2.makespan
+        assert np.array_equal(s1.start, s2.start)
+
+    def test_link_setup_alpha_beta_model(self):
+        """With link_setup = a, every hop costs a + weight."""
+        g = TaskGraph([1, 1, 1], [(0, 1, 4)])
+        cg = ClusteredGraph(g, Clustering([0, 1, 2]))
+        system = chain(3)
+        a = Assignment.from_placement([0, 2, 1])  # 2 hops for the message
+        sim = simulate(cg, system, a, SimConfig(link_setup=3))
+        assert sim.makespan == 1 + 2 * (3 + 4) + 1
+
+    def test_link_setup_zero_matches_paper_model(self):
+        clustered, system = random_instance(8)
+        a = Assignment.random(system.num_nodes, rng=8)
+        base = simulate(clustered, system, a)
+        with_zero = simulate(clustered, system, a, SimConfig(link_setup=0))
+        assert base.makespan == with_zero.makespan
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(link_setup=-1)
+
+    def test_config_describe(self):
+        assert SimConfig().describe() == "overlapping+contention-free"
+        assert SimConfig(True, True).describe() == "serialized+contention"
+        assert "setup=2" in SimConfig(link_setup=2).describe()
+
+    def test_na_ns_mismatch_rejected(self, diamond_clustered):
+        from repro.utils import MappingError
+
+        with pytest.raises(MappingError):
+            simulate(diamond_clustered, ring(5), Assignment.identity(5))

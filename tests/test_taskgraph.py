@@ -1,0 +1,181 @@
+"""Unit tests for repro.core.taskgraph."""
+
+import numpy as np
+import pytest
+
+from repro.core import Edge, TaskGraph
+from repro.utils import GraphError
+
+
+class TestConstruction:
+    def test_from_edge_triples(self):
+        g = TaskGraph([1, 2], [(0, 1, 5)])
+        assert g.num_tasks == 2
+        assert g.weight(0, 1) == 5
+        assert g.num_edges == 1
+
+    def test_from_dense_matrix(self):
+        mat = np.zeros((3, 3), dtype=int)
+        mat[0, 1] = 2
+        mat[1, 2] = 3
+        g = TaskGraph([1, 1, 1], mat)
+        assert g.weight(0, 1) == 2
+        assert g.weight(1, 2) == 3
+
+    def test_no_edges(self):
+        g = TaskGraph([4, 5, 6])
+        assert g.num_edges == 0
+        assert g.total_work == 15
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph([])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(GraphError, match="non-positive"):
+            TaskGraph([1, 0], [(0, 1, 1)])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph([1, -2])
+
+    def test_self_loop_rejected(self):
+        mat = np.zeros((2, 2), dtype=int)
+        mat[1, 1] = 3
+        with pytest.raises(GraphError, match="self-loop"):
+            TaskGraph([1, 1], mat)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphError, match="cycle"):
+            TaskGraph([1, 1, 1], [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(GraphError, match="cycle"):
+            TaskGraph([1, 1], [(0, 1, 1), (1, 0, 1)])
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(GraphError, match="missing task"):
+            TaskGraph([1, 1], [(0, 5, 1)])
+
+    def test_zero_weight_edge_rejected(self):
+        with pytest.raises(GraphError, match="positive weight"):
+            TaskGraph([1, 1], [(0, 1, 0)])
+
+    def test_matrix_must_be_square(self):
+        with pytest.raises(GraphError):
+            TaskGraph([1, 1], np.zeros((2, 3), dtype=int))
+
+    def test_matrix_size_mismatch(self):
+        with pytest.raises(GraphError):
+            TaskGraph([1, 1, 1], np.zeros((2, 2), dtype=int))
+
+
+class TestAccessors:
+    def test_predecessors_successors(self, diamond_graph):
+        assert diamond_graph.predecessors(3).tolist() == [1, 2]
+        assert diamond_graph.successors(0).tolist() == [1, 2]
+        assert diamond_graph.predecessors(0).size == 0
+        assert diamond_graph.successors(3).size == 0
+
+    def test_sources_sinks(self, diamond_graph):
+        assert diamond_graph.sources().tolist() == [0]
+        assert diamond_graph.sinks().tolist() == [3]
+
+    def test_degree(self, diamond_graph):
+        assert diamond_graph.degree(0) == 2
+        assert diamond_graph.degree(3) == 2
+        assert diamond_graph.degree(1) == 2
+
+    def test_edges_iteration(self, diamond_graph):
+        edges = list(diamond_graph.edges())
+        assert Edge(0, 1, 1) in edges
+        assert Edge(2, 3, 1) in edges
+        assert len(edges) == 4
+
+    def test_has_edge(self, diamond_graph):
+        assert diamond_graph.has_edge(0, 1)
+        assert not diamond_graph.has_edge(1, 0)
+        assert not diamond_graph.has_edge(0, 3)
+
+    def test_totals(self, diamond_graph):
+        assert diamond_graph.total_work == 8
+        assert diamond_graph.total_comm == 6
+
+    def test_len(self, diamond_graph):
+        assert len(diamond_graph) == 4
+
+    def test_prob_edge_read_only(self, diamond_graph):
+        with pytest.raises(ValueError):
+            diamond_graph.prob_edge[0, 1] = 9
+
+    def test_task_sizes_read_only(self, diamond_graph):
+        with pytest.raises(ValueError):
+            diamond_graph.task_sizes[0] = 9
+
+
+class TestTopologicalOrder:
+    def test_valid_order(self, diamond_graph):
+        order = diamond_graph.topological_order.tolist()
+        pos = {t: i for i, t in enumerate(order)}
+        for e in diamond_graph.edges():
+            assert pos[e.src] < pos[e.dst]
+
+    def test_all_tasks_present(self, diamond_graph):
+        assert sorted(diamond_graph.topological_order.tolist()) == [0, 1, 2, 3]
+
+
+class TestDerived:
+    def test_critical_path_chain(self, chain_graph):
+        # 1 + 3 + 1 + 1 + 1 + 2 + 1 = 10
+        assert chain_graph.critical_path_length() == 10
+
+    def test_critical_path_diamond(self, diamond_graph):
+        # 0(2) -1-> 1(3) -2-> 3(2) = 2+1+3+2+2 = 10
+        assert diamond_graph.critical_path_length() == 10
+
+    def test_critical_path_independent_tasks(self):
+        g = TaskGraph([5, 9, 3])
+        assert g.critical_path_length() == 9
+
+    def test_connectivity(self, diamond_graph):
+        assert diamond_graph.is_connected()
+        assert not TaskGraph([1, 1]).is_connected()
+
+    def test_relabeled_preserves_structure(self, diamond_graph):
+        order = [3, 2, 1, 0]
+        relabeled = diamond_graph.relabeled(order)
+        assert relabeled.total_work == diamond_graph.total_work
+        assert relabeled.total_comm == diamond_graph.total_comm
+        assert relabeled.critical_path_length() == diamond_graph.critical_path_length()
+        # old task 0 (size 2) is now task 3
+        assert relabeled.task_sizes[3] == 2
+
+    def test_relabeled_bad_order(self, diamond_graph):
+        with pytest.raises(GraphError):
+            diamond_graph.relabeled([0, 0, 1, 2])
+
+
+class TestEqualityAndConversion:
+    def test_equality(self):
+        a = TaskGraph([1, 2], [(0, 1, 3)])
+        b = TaskGraph([1, 2], [(0, 1, 3)])
+        c = TaskGraph([1, 2], [(0, 1, 4)])
+        assert a == b
+        assert a != c
+
+    def test_networkx_round_trip(self, diamond_graph):
+        g = diamond_graph.to_networkx()
+        back = TaskGraph.from_networkx(g)
+        assert back == diamond_graph
+
+    def test_networkx_bad_labels(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_node("a")
+        with pytest.raises(GraphError):
+            TaskGraph.from_networkx(g)
+
+    def test_repr(self, diamond_graph):
+        text = repr(diamond_graph)
+        assert "tasks=4" in text and "edges=4" in text

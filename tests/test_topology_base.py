@@ -1,0 +1,142 @@
+"""Unit tests for repro.topology.base (SystemGraph)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import SystemGraph, chain, complete, ring
+from repro.utils import GraphError
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = SystemGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges() == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_symmetrizes_input(self):
+        adj = np.zeros((3, 3), dtype=int)
+        adj[0, 1] = 1  # only one triangle filled
+        adj[1, 2] = 1
+        g = SystemGraph(adj)
+        assert g.has_edge(1, 0)
+        assert g.has_edge(2, 1)
+
+    def test_disconnected_rejected(self):
+        adj = np.zeros((4, 4), dtype=int)
+        adj[0, 1] = adj[1, 0] = 1
+        adj[2, 3] = adj[3, 2] = 1
+        with pytest.raises(GraphError, match="connected"):
+            SystemGraph(adj)
+
+    def test_self_loop_rejected(self):
+        adj = np.eye(2, dtype=int)
+        with pytest.raises(GraphError, match="self-loop"):
+            SystemGraph(adj)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError):
+            SystemGraph(np.zeros((2, 3)))
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(GraphError, match="missing node"):
+            SystemGraph.from_edges(2, [(0, 5)])
+
+    def test_single_node(self):
+        g = SystemGraph(np.zeros((1, 1), dtype=int))
+        assert g.num_nodes == 1
+        assert g.diameter() == 0
+        assert g.average_distance() == 0.0
+
+
+class TestShortestPaths:
+    def test_ring_distances(self):
+        g = ring(6)
+        assert g.distance(0, 1) == 1
+        assert g.distance(0, 3) == 3
+        assert g.distance(0, 5) == 1
+        assert g.diameter() == 3
+
+    def test_chain_distances(self):
+        g = chain(5)
+        assert g.distance(0, 4) == 4
+        assert g.diameter() == 4
+
+    def test_shortest_matrix_symmetric_zero_diagonal(self):
+        g = ring(7)
+        assert np.array_equal(g.shortest, g.shortest.T)
+        assert (np.diagonal(g.shortest) == 0).all()
+
+    def test_triangle_inequality(self):
+        g = ring(8)
+        d = g.shortest
+        n = g.num_nodes
+        for a in range(n):
+            for b in range(n):
+                for c in range(n):
+                    assert d[a, c] <= d[a, b] + d[b, c]
+
+    def test_adjacent_iff_distance_one(self):
+        g = ring(6)
+        adj = g.sys_edge > 0
+        assert np.array_equal(adj, g.shortest == 1)
+
+    def test_shortest_path_endpoints_and_length(self):
+        g = chain(6)
+        path = g.shortest_path(1, 5)
+        assert path[0] == 1 and path[-1] == 5
+        assert len(path) - 1 == g.distance(1, 5)
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    def test_shortest_path_self(self):
+        assert ring(4).shortest_path(2, 2) == [2]
+
+
+class TestDerived:
+    def test_degrees(self):
+        g = ring(5)
+        assert g.deg.tolist() == [2] * 5
+
+    def test_closure(self):
+        g = ring(6)
+        c = g.closure()
+        assert c.is_complete()
+        assert c.num_edges() == 15
+        assert c.diameter() == 1
+
+    def test_is_complete(self):
+        assert complete(4).is_complete()
+        assert not ring(4).is_complete()
+
+    def test_average_distance(self):
+        # Complete graph: every distinct pair at distance 1.
+        assert complete(5).average_distance() == pytest.approx(1.0)
+
+    def test_edges_sorted_unique(self):
+        g = ring(4)
+        assert g.edges() == [(0, 1), (0, 3), (1, 2), (2, 3)]
+
+    def test_neighbors(self):
+        g = chain(4)
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == [0, 2]
+
+    def test_equality(self):
+        assert ring(5) == ring(5)
+        assert ring(5) != chain(5)
+
+    def test_networkx_export(self):
+        g = ring(5)
+        nx_g = g.to_networkx()
+        assert nx_g.number_of_nodes() == 5
+        assert nx_g.number_of_edges() == 5
+
+    def test_read_only_views(self):
+        g = ring(4)
+        with pytest.raises(ValueError):
+            g.sys_edge[0, 1] = 0
+        with pytest.raises(ValueError):
+            g.shortest[0, 1] = 9
+        with pytest.raises(ValueError):
+            g.deg[0] = 9

@@ -1,0 +1,62 @@
+"""Unit tests for repro.topology.properties."""
+
+import pytest
+
+from repro.topology import (
+    center,
+    chain,
+    complete,
+    degree_histogram,
+    eccentricities,
+    edge_connectivity_lower_bound,
+    hypercube,
+    is_regular,
+    mesh2d,
+    radius,
+    ring,
+    star,
+    summarize,
+)
+from repro.utils import GraphError
+
+
+class TestProperties:
+    def test_is_regular(self):
+        assert is_regular(ring(5))
+        assert is_regular(hypercube(3))
+        assert not is_regular(chain(4))
+        assert not is_regular(star(5))
+
+    def test_degree_histogram(self):
+        assert degree_histogram(chain(4)) == {1: 2, 2: 2}
+        assert degree_histogram(ring(5)) == {2: 5}
+        assert degree_histogram(mesh2d(3, 3)) == {2: 4, 3: 4, 4: 1}
+
+    def test_eccentricities_chain(self):
+        ecc = eccentricities(chain(5))
+        assert ecc.tolist() == [4, 3, 2, 3, 4]
+
+    def test_radius_and_center(self):
+        assert radius(chain(5)) == 2
+        assert center(chain(5)).tolist() == [2]
+        assert radius(star(6)) == 1
+        assert center(star(6)).tolist() == [0]
+
+    def test_radius_le_diameter(self):
+        for g in (ring(7), mesh2d(3, 4), hypercube(4)):
+            assert radius(g) <= g.diameter() <= 2 * radius(g)
+
+    def test_edge_connectivity_lower_bound(self):
+        assert edge_connectivity_lower_bound(ring(5)) == 2
+        assert edge_connectivity_lower_bound(chain(4)) == 1
+        with pytest.raises(GraphError):
+            edge_connectivity_lower_bound(complete(1))
+
+    def test_summarize_keys(self):
+        info = summarize(hypercube(3))
+        assert info["name"] == "hypercube-8"
+        assert info["nodes"] == 8
+        assert info["links"] == 12
+        assert info["diameter"] == 3
+        assert info["regular"] is True
+        assert info["min_degree"] == info["max_degree"] == 3

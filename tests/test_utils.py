@@ -1,0 +1,98 @@
+"""Unit tests for repro.utils."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    GraphError,
+    MappingError,
+    Stopwatch,
+    as_rng,
+    as_weight_matrix,
+    check_permutation,
+    check_square,
+    pairs,
+)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seeds(self):
+        a, b = as_rng(7), as_rng(7)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_rng(g) is g
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(as_rng(np.int64(3)), np.random.Generator)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestAsWeightMatrix:
+    def test_from_nested_list(self):
+        m = as_weight_matrix([[0, 1], [0, 0]])
+        assert m.dtype == np.int64
+        assert m[0, 1] == 1
+
+    def test_from_dict_of_dicts(self):
+        m = as_weight_matrix({0: {2: 5}}, n=3)
+        assert m.shape == (3, 3)
+        assert m[0, 2] == 5
+
+    def test_dict_infers_size(self):
+        m = as_weight_matrix({1: {3: 2}})
+        assert m.shape == (4, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            as_weight_matrix([[0, -1], [0, 0]])
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(GraphError):
+            as_weight_matrix([[0, 1], [0, 0]], n=3)
+
+    def test_copies_input(self):
+        src = np.zeros((2, 2), dtype=np.int64)
+        m = as_weight_matrix(src)
+        m[0, 1] = 9
+        assert src[0, 1] == 0
+
+
+class TestCheckers:
+    def test_check_square(self):
+        check_square(np.zeros((3, 3)))
+        with pytest.raises(GraphError):
+            check_square(np.zeros((2, 3)))
+        with pytest.raises(GraphError):
+            check_square(np.zeros(3))
+        with pytest.raises(GraphError):
+            check_square(np.zeros((2, 2)), n=3)
+
+    def test_check_permutation_valid(self):
+        arr = check_permutation([2, 0, 1], 3)
+        assert arr.tolist() == [2, 0, 1]
+
+    def test_check_permutation_invalid(self):
+        with pytest.raises(MappingError):
+            check_permutation([0, 0, 1], 3)
+        with pytest.raises(MappingError):
+            check_permutation([0, 1], 3)
+
+
+class TestMisc:
+    def test_stopwatch(self):
+        with Stopwatch() as sw:
+            sum(range(100))
+        assert sw.elapsed >= 0.0
+
+    def test_pairs(self):
+        assert list(pairs([1, 2, 3])) == [(1, 2), (1, 3), (2, 3)]
+        assert list(pairs([])) == []
+        assert list(pairs([5])) == []

@@ -1,0 +1,123 @@
+"""Unit tests for repro.workloads.classic."""
+
+import pytest
+
+from repro.utils import GraphError
+from repro.workloads import (
+    divide_conquer_dag,
+    fft_dag,
+    fork_join_dag,
+    map_reduce_dag,
+    pipeline_dag,
+    stencil_sweep_dag,
+)
+
+
+class TestFft:
+    def test_structure(self):
+        g = fft_dag(3)  # 8 points, 4 stages of 8
+        assert g.num_tasks == 4 * 8
+        assert g.num_edges == 3 * 8 * 2
+
+    def test_sources_are_first_stage(self):
+        g = fft_dag(2)
+        assert g.sources().tolist() == [0, 1, 2, 3]
+
+    def test_butterfly_partners(self):
+        g = fft_dag(2)  # stage 0 exchanges bit 0
+        assert g.has_edge(0, 4)  # straight
+        assert g.has_edge(0, 5)  # exchange 0^1
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            fft_dag(0)
+
+
+class TestForkJoin:
+    def test_task_count(self):
+        g = fork_join_dag(width=4, stages=2)
+        assert g.num_tasks == 1 + (4 + 1) * 2
+
+    def test_source_sink(self):
+        g = fork_join_dag(width=3, stages=2)
+        assert g.sources().size == 1
+        assert g.sinks().size == 1
+
+    def test_critical_path(self):
+        g = fork_join_dag(width=5, stages=1, task_size=3, comm=2)
+        # source(1) + comm(2) + worker(3) + comm(2) + join(1)
+        assert g.critical_path_length() == 9
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            fork_join_dag(0)
+
+
+class TestDivideConquer:
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_task_count(self, levels):
+        g = divide_conquer_dag(levels)
+        assert g.num_tasks == 3 * 2**levels - 2
+
+    def test_single_source_sink(self):
+        g = divide_conquer_dag(3)
+        assert g.sources().size == 1
+        assert g.sinks().size == 1
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            divide_conquer_dag(0)
+
+
+class TestPipeline:
+    def test_structure(self):
+        g = pipeline_dag(stages=3, items=4)
+        assert g.num_tasks == 12
+        # dataflow: (stages-1)*items, occupancy: stages*(items-1)
+        assert g.num_edges == 2 * 4 + 3 * 3
+
+    def test_wavefront_equivalence(self):
+        """A pipeline DAG is a wavefront with (stages x items) cells."""
+        from repro.workloads import wavefront_dag
+
+        p = pipeline_dag(stages=3, items=4, task_size=2, comm=1)
+        w = wavefront_dag(3, 4, task_size=2, comm=1)
+        assert p.num_edges == w.num_edges
+        assert p.critical_path_length() == w.critical_path_length()
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            pipeline_dag(0, 3)
+
+
+class TestMapReduce:
+    def test_structure(self):
+        g = map_reduce_dag(mappers=3, reducers=2)
+        assert g.num_tasks == 1 + 3 + 2 + 1
+        assert g.num_edges == 3 + 3 * 2 + 2
+
+    def test_shuffle_is_complete_bipartite(self):
+        g = map_reduce_dag(mappers=2, reducers=3)
+        for m in range(2):
+            for r in range(3):
+                assert g.has_edge(1 + m, 1 + 2 + r)
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            map_reduce_dag(0, 1)
+
+
+class TestStencil:
+    def test_structure(self):
+        g = stencil_sweep_dag(grid=3, sweeps=2)
+        assert g.num_tasks == 2 * 9
+        # 9 self + border-clipped neighbors between the two sweeps.
+        assert g.num_edges == 9 + 2 * (2 * 3 * 2)  # 9 self + 24 neighbor edges
+
+    def test_single_sweep_no_edges(self):
+        g = stencil_sweep_dag(grid=3, sweeps=1)
+        assert g.num_edges == 0
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            stencil_sweep_dag(0, 1)

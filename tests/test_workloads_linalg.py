@@ -1,0 +1,94 @@
+"""Unit tests for repro.workloads.linalg."""
+
+import pytest
+
+from repro.utils import GraphError
+from repro.workloads import cholesky_dag, gaussian_elimination_dag, wavefront_dag
+
+
+class TestGaussianElimination:
+    def test_task_count(self):
+        # For n: sum_{k=0}^{n-2} (1 pivot + (n-1-k) updates)
+        n = 5
+        g = gaussian_elimination_dag(n)
+        expected = sum(1 + (n - 1 - k) for k in range(n - 1))
+        assert g.num_tasks == expected
+
+    def test_is_connected_dag(self):
+        g = gaussian_elimination_dag(6)
+        assert g.is_connected()
+
+    def test_single_entry_task(self):
+        """Only the first pivot has no predecessors."""
+        g = gaussian_elimination_dag(5)
+        assert g.sources().size == 1
+
+    def test_pivot_costs_decrease(self):
+        g = gaussian_elimination_dag(6, flop_cost=1)
+        # First task is P_0 with cost (n-1); last pivot costs 1.
+        assert g.task_sizes[0] == 5
+
+    def test_critical_path_grows_with_n(self):
+        assert (
+            gaussian_elimination_dag(8).critical_path_length()
+            > gaussian_elimination_dag(4).critical_path_length()
+        )
+
+    def test_cost_scaling(self):
+        cheap = gaussian_elimination_dag(5, flop_cost=1, word_cost=1)
+        costly = gaussian_elimination_dag(5, flop_cost=3, word_cost=2)
+        assert costly.total_work == 3 * cheap.total_work
+        assert costly.total_comm == 2 * cheap.total_comm
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            gaussian_elimination_dag(1)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("t", [1, 2, 3, 4])
+    def test_task_count(self, t):
+        # POTRF: t, TRSM: t(t-1)/2, SYRK: t(t-1)/2, GEMM: sum C(i,2)-ish
+        g = cholesky_dag(t)
+        potrf = t
+        trsm = t * (t - 1) // 2
+        syrk = t * (t - 1) // 2
+        gemm = sum(
+            max(0, i - k - 1) for k in range(t) for i in range(k + 1, t)
+        )
+        assert g.num_tasks == potrf + trsm + syrk + gemm
+
+    def test_single_tile_is_one_task(self):
+        assert cholesky_dag(1).num_tasks == 1
+
+    def test_valid_dag_and_connected(self):
+        g = cholesky_dag(4)
+        assert g.is_connected()
+
+    def test_bad_tiles(self):
+        with pytest.raises(GraphError):
+            cholesky_dag(0)
+
+
+class TestWavefront:
+    def test_task_count_and_edges(self):
+        g = wavefront_dag(3, 4)
+        assert g.num_tasks == 12
+        # edges: (rows-1)*cols down + rows*(cols-1) right
+        assert g.num_edges == 2 * 4 + 3 * 3
+
+    def test_corner_dependencies(self):
+        g = wavefront_dag(3, 3)
+        assert g.sources().tolist() == [0]
+        assert g.sinks().tolist() == [8]
+
+    def test_critical_path(self):
+        # Path length rows+cols-1 cells, each size 2, comm 1 between.
+        g = wavefront_dag(3, 3, task_size=2, comm=1)
+        assert g.critical_path_length() == 5 * 2 + 4 * 1
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            wavefront_dag(0, 3)
+        with pytest.raises(GraphError):
+            wavefront_dag(2, 2, task_size=0)

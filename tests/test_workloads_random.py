@@ -1,0 +1,115 @@
+"""Unit tests for repro.workloads.random_dag."""
+
+import numpy as np
+import pytest
+
+from repro.utils import GraphError
+from repro.workloads import gnp_dag, layered_random_dag, series_parallel_dag
+
+
+class TestLayeredRandomDag:
+    @pytest.mark.parametrize("n", [1, 2, 30, 120])
+    def test_sizes_and_validity(self, n):
+        g = layered_random_dag(num_tasks=n, rng=0)
+        assert g.num_tasks == n  # constructor already validated DAG-ness
+
+    def test_every_non_entry_task_has_predecessor(self):
+        g = layered_random_dag(num_tasks=80, rng=1)
+        entries = set(g.sources().tolist())
+        for t in range(g.num_tasks):
+            if t not in entries:
+                assert g.predecessors(t).size > 0
+
+    def test_deterministic_by_seed(self):
+        assert layered_random_dag(50, rng=9) == layered_random_dag(50, rng=9)
+
+    def test_different_seeds_differ(self):
+        assert layered_random_dag(50, rng=1) != layered_random_dag(50, rng=2)
+
+    def test_weight_ranges_respected(self):
+        g = layered_random_dag(
+            60, task_size_range=(3, 7), comm_range=(2, 4), rng=3
+        )
+        assert g.task_sizes.min() >= 3 and g.task_sizes.max() <= 7
+        weights = [e.weight for e in g.edges()]
+        assert min(weights) >= 2 and max(weights) <= 4
+
+    def test_mean_degree_stays_constant(self):
+        """The headline property of the default density model."""
+        small = layered_random_dag(50, rng=4)
+        large = layered_random_dag(300, rng=4)
+        deg_small = 2 * small.num_edges / small.num_tasks
+        deg_large = 2 * large.num_edges / large.num_tasks
+        assert deg_large < 2.5 * deg_small  # no quadratic blow-up
+
+    def test_explicit_probability_honoured(self):
+        dense = layered_random_dag(60, extra_edge_prob=0.5, rng=5)
+        sparse = layered_random_dag(60, extra_edge_prob=0.0, rng=5)
+        assert dense.num_edges > sparse.num_edges
+        # With prob 0 only the spanning edges remain: exactly one per
+        # non-entry-layer task.
+        layers_entries = sparse.sources().size
+        assert sparse.num_edges == sparse.num_tasks - layers_entries
+
+    def test_num_layers_controls_depth(self):
+        deep = layered_random_dag(60, num_layers=30, rng=6)
+        shallow = layered_random_dag(60, num_layers=3, rng=6)
+        assert deep.critical_path_length() > shallow.critical_path_length()
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            layered_random_dag(0)
+        with pytest.raises(GraphError):
+            layered_random_dag(10, task_size_range=(0, 5))
+        with pytest.raises(GraphError):
+            layered_random_dag(10, comm_range=(5, 2))
+        with pytest.raises(GraphError):
+            layered_random_dag(10, extra_edges_per_task=-1)
+
+
+class TestGnpDag:
+    def test_valid_dag(self):
+        g = gnp_dag(40, edge_prob=0.2, rng=0)
+        assert g.num_tasks == 40
+
+    def test_edge_count_scales_with_prob(self):
+        sparse = gnp_dag(40, edge_prob=0.05, rng=1)
+        dense = gnp_dag(40, edge_prob=0.5, rng=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_prob_zero_no_edges(self):
+        assert gnp_dag(20, edge_prob=0.0, rng=2).num_edges == 0
+
+    def test_prob_one_complete_dag(self):
+        g = gnp_dag(10, edge_prob=1.0, rng=3)
+        assert g.num_edges == 10 * 9 // 2
+
+    def test_bad_prob(self):
+        with pytest.raises(GraphError):
+            gnp_dag(10, edge_prob=1.2)
+
+
+class TestSeriesParallelDag:
+    def test_depth_zero_single_task(self):
+        g = series_parallel_dag(0, rng=0)
+        assert g.num_tasks == 1
+
+    @pytest.mark.parametrize("depth,branching", [(1, 2), (2, 2), (3, 2), (2, 3)])
+    def test_task_count(self, depth, branching):
+        g = series_parallel_dag(depth, branching=branching, rng=0)
+
+        def expected(d):
+            return 1 if d == 0 else 2 + branching * expected(d - 1)
+
+        assert g.num_tasks == expected(depth)
+
+    def test_single_source_and_sink(self):
+        g = series_parallel_dag(3, rng=1)
+        assert g.sources().size == 1
+        assert g.sinks().size == 1
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            series_parallel_dag(-1)
+        with pytest.raises(GraphError):
+            series_parallel_dag(2, branching=0)

@@ -1,0 +1,123 @@
+"""Tests for tree workloads and the extra linear-algebra DAGs."""
+
+import pytest
+
+from repro.utils import GraphError
+from repro.workloads import (
+    broadcast_tree,
+    diamond_lattice,
+    lu_dag,
+    reduction_tree,
+    triangular_solve_dag,
+)
+
+
+class TestReductionTree:
+    @pytest.mark.parametrize("leaves,arity", [(2, 2), (8, 2), (9, 3), (7, 2)])
+    def test_single_root(self, leaves, arity):
+        g = reduction_tree(leaves, arity)
+        assert g.sinks().size == 1
+        assert g.sources().size == leaves
+
+    def test_binary_task_count(self):
+        # 8 leaves binary: 8 + 4 + 2 + 1 = 15 tasks.
+        assert reduction_tree(8, 2).num_tasks == 15
+
+    def test_every_internal_node_has_children(self):
+        g = reduction_tree(8, 2)
+        for t in range(8, g.num_tasks):
+            assert g.predecessors(t).size == 2
+
+    def test_odd_leaf_count(self):
+        g = reduction_tree(5, 2)
+        assert g.sinks().size == 1
+        assert g.sources().size == 5
+
+    def test_single_leaf(self):
+        g = reduction_tree(1)
+        assert g.num_tasks == 1
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            reduction_tree(0)
+        with pytest.raises(GraphError):
+            reduction_tree(4, arity=1)
+
+
+class TestBroadcastTree:
+    def test_mirror_of_reduction(self):
+        r = reduction_tree(8, 2)
+        b = broadcast_tree(8, 2)
+        assert b.num_tasks == r.num_tasks
+        assert b.num_edges == r.num_edges
+        assert b.sources().size == 1
+        assert b.sinks().size == 8
+
+    def test_root_is_task_zero(self):
+        b = broadcast_tree(4, 2)
+        assert b.sources().tolist() == [0]
+
+    def test_same_critical_path_as_reduction(self):
+        assert (
+            broadcast_tree(16, 2).critical_path_length()
+            == reduction_tree(16, 2).critical_path_length()
+        )
+
+
+class TestDiamond:
+    def test_structure(self):
+        g = diamond_lattice(5)
+        assert g.num_tasks == 7
+        assert g.num_edges == 10
+        assert g.sources().size == 1
+        assert g.sinks().size == 1
+
+    def test_critical_path(self):
+        g = diamond_lattice(3, task_size=4, comm=2)
+        assert g.critical_path_length() == 1 + 2 + 4 + 2 + 1
+
+    def test_bad_width(self):
+        with pytest.raises(GraphError):
+            diamond_lattice(0)
+
+
+class TestLuDag:
+    @pytest.mark.parametrize("t", [1, 2, 3, 4])
+    def test_task_count(self, t):
+        # Per step k: 1 GETRF + 2*(t-1-k) TRSM + (t-1-k)^2 GEMM.
+        expected = sum(1 + 2 * (t - 1 - k) + (t - 1 - k) ** 2 for k in range(t))
+        assert lu_dag(t).num_tasks == expected
+
+    def test_connected(self):
+        assert lu_dag(4).is_connected()
+
+    def test_single_entry(self):
+        assert lu_dag(4).sources().size == 1
+
+    def test_bad_tiles(self):
+        with pytest.raises(GraphError):
+            lu_dag(0)
+
+
+class TestTriangularSolve:
+    def test_structure(self):
+        g = triangular_solve_dag(5)
+        assert g.num_tasks == 5
+        assert g.num_edges == 10  # complete forward dependence
+
+    def test_nearly_serial_bound(self):
+        """The chain structure keeps the clustered lower bound close to
+        the serial time when everything lands in one cluster."""
+        from repro.core import ClusteredGraph, Clustering, lower_bound
+
+        g = triangular_solve_dag(6)
+        one = ClusteredGraph(g, Clustering([0] * 6))
+        assert lower_bound(one) == g.total_work
+
+    def test_sizes_grow_with_row(self):
+        g = triangular_solve_dag(4, flop_cost=2)
+        assert g.task_sizes.tolist() == [2, 4, 6, 8]
+
+    def test_bad_size(self):
+        with pytest.raises(GraphError):
+            triangular_solve_dag(0)
