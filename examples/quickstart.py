@@ -55,6 +55,18 @@ def main() -> None:
     print()
     print(render_gantt(result.schedule, max_rows=40))
 
+    # 6. The same instance through the unified API: any registered mapper
+    #    by name, one uniform MapOutcome (see examples/compare_mappers.py
+    #    for the full head-to-head).
+    from repro.api import solve
+
+    outcome = solve(graph, clustering, system, mapper="tabu", rng=SEED)
+    print()
+    print(
+        f"tabu (via repro.api.solve): {outcome.total_time} "
+        f"({outcome.percent_of_lower_bound():.1f}% of the bound)"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -5,20 +5,29 @@ Strategy for MIMD Computers* (UC Irvine ICS TR 91-35 / ICPP 1991).
 
 Quickstart::
 
-    from repro import map_graph
+    from repro import solve
     from repro.workloads import layered_random_dag
     from repro.clustering import RandomClusterer
     from repro.topology import hypercube
 
     graph = layered_random_dag(num_tasks=120, rng=7)
     clustering = RandomClusterer(num_clusters=16).cluster(graph, rng=7)
-    result = map_graph(graph, clustering, hypercube(4), rng=7)
-    print(result.total_time, result.lower_bound, result.is_provably_optimal)
+    outcome = solve(graph, clustering, hypercube(4), mapper="critical", rng=7)
+    print(outcome.total_time, outcome.lower_bound, outcome.is_provably_optimal)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+Any registered mapper (``available_mappers()``) can be swapped in via
+``mapper=``; :func:`repro.api.compare` scores them head-to-head and
+:func:`repro.api.solve_many` batches instances across processes.  See
+README.md for the full tour and the ``mimdmap`` CLI.
 """
 
+from .api import (
+    MapOutcome,
+    available_mappers,
+    compare,
+    solve,
+    solve_many,
+)
 from .core import (
     AbstractGraph,
     Assignment,
@@ -49,15 +58,20 @@ __all__ = [
     "CriticalEdgeMapper",
     "CriticalityAnalysis",
     "IdealSchedule",
+    "MapOutcome",
     "MappingResult",
     "Schedule",
     "SystemGraph",
     "TaskGraph",
     "__version__",
     "analyze_criticality",
+    "available_mappers",
+    "compare",
     "evaluate_assignment",
     "ideal_schedule",
     "lower_bound",
     "map_graph",
+    "solve",
+    "solve_many",
     "total_time",
 ]

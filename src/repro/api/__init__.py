@@ -1,0 +1,54 @@
+"""Unified mapper API: one protocol, one result type, one registry.
+
+Every mapping algorithm in the repo — the paper's critical-edge strategy
+and all seven baselines — is reachable by name through this package::
+
+    from repro.api import solve, compare, available_mappers
+
+    outcome = solve(graph, clustering, system, mapper="critical", rng=7)
+    print(outcome.total_time, outcome.lower_bound, outcome.is_provably_optimal)
+
+    head_to_head = compare(clustered, system, seed=7, max_workers=4)
+
+Layers:
+
+* :mod:`~repro.api.outcome` — the frozen :class:`MapOutcome` every mapper
+  returns;
+* :mod:`~repro.api.registry` — the :class:`Mapper` protocol and the
+  ``name -> factory`` registry;
+* :mod:`~repro.api.adapters` — the built-in registrations wrapping the
+  existing mapper functions (which keep working unchanged);
+* :mod:`~repro.api.facade` — ``solve()`` / ``solve_instance()``;
+* :mod:`~repro.api.batch` — ``solve_many()`` / ``compare()`` with
+  process parallelism and per-item seed derivation.
+"""
+
+from . import adapters as _adapters  # noqa: F401 - imported for registration
+from .batch import ProblemInstance, compare, derive_seed, solve_many
+from .facade import format_comparison, solve, solve_instance
+from .outcome import MapOutcome
+from .registry import (
+    DuplicateMapperError,
+    Mapper,
+    UnknownMapperError,
+    available_mappers,
+    get_mapper,
+    register_mapper,
+)
+
+__all__ = [
+    "DuplicateMapperError",
+    "MapOutcome",
+    "Mapper",
+    "ProblemInstance",
+    "UnknownMapperError",
+    "available_mappers",
+    "compare",
+    "derive_seed",
+    "format_comparison",
+    "get_mapper",
+    "register_mapper",
+    "solve",
+    "solve_instance",
+    "solve_many",
+]

@@ -1,0 +1,344 @@
+"""Built-in mapper registrations: the paper's strategy and all baselines.
+
+Each adapter is a thin, picklable wrapper that normalizes one of the
+existing mapping entry points (:class:`~repro.core.mapper.CriticalEdgeMapper`,
+:func:`~repro.baselines.annealing.anneal_mapping`, ...) to the uniform
+:class:`~repro.api.outcome.MapOutcome`.  The wrapped functions keep their
+original signatures and result types — the adapters call them, they do
+not replace them.
+
+Registered names: ``critical``, ``random``, ``bokhari``, ``lee``,
+``annealing``, ``quenching``, ``genetic``, ``tabu``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.annealing import anneal_mapping
+from ..baselines.bokhari import bokhari_mapping
+from ..baselines.genetic import genetic_mapping
+from ..baselines.lee_aggarwal import lee_mapping
+from ..baselines.random_map import average_random_mapping
+from ..baselines.tabu import tabu_mapping
+from ..core.clustered import ClusteredGraph
+from ..core.evaluate import total_time
+from ..core.ideal import ideal_schedule
+from ..core.mapper import CriticalEdgeMapper
+from ..topology.base import SystemGraph
+from ..utils import Stopwatch
+from .outcome import MapOutcome
+from .registry import register_mapper
+
+__all__ = [
+    "CriticalEdgeAdapter",
+    "RandomMappingAdapter",
+    "BokhariAdapter",
+    "LeeAggarwalAdapter",
+    "AnnealingAdapter",
+    "QuenchingAdapter",
+    "GeneticAdapter",
+    "TabuAdapter",
+]
+
+
+@register_mapper("critical")
+class CriticalEdgeAdapter:
+    """The paper's critical-edge strategy (initial assignment + refinement)."""
+
+    def __init__(
+        self,
+        refinement: str = "random",
+        refinement_trials: int | None = None,
+        use_critical_guidance: bool = True,
+        propagate_through_intra: bool = True,
+        tie_break: str = "affinity",
+    ) -> None:
+        self.refinement = refinement
+        self.refinement_trials = refinement_trials
+        self.use_critical_guidance = use_critical_guidance
+        self.propagate_through_intra = propagate_through_intra
+        self.tie_break = tie_break
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        with Stopwatch() as sw:
+            result = CriticalEdgeMapper(
+                refinement=self.refinement,
+                refinement_trials=self.refinement_trials,
+                use_critical_guidance=self.use_critical_guidance,
+                propagate_through_intra=self.propagate_through_intra,
+                tie_break=self.tie_break,
+                rng=rng,
+            ).map(clustered, system)
+        return MapOutcome(
+            mapper=self.name,
+            assignment=result.assignment,
+            total_time=result.total_time,
+            lower_bound=result.lower_bound,
+            evaluations=result.refinement.trials,
+            reached_lower_bound=result.is_provably_optimal,
+            wall_time=sw.elapsed,
+            extras={"initial_total_time": float(result.initial_total_time)},
+        )
+
+
+@register_mapper("random")
+class RandomMappingAdapter:
+    """Averaged random mapping (the paper's Sec. 5 comparison baseline).
+
+    ``total_time``/``assignment`` report the best of the ``samples``
+    draws; the paper's reported *mean* lands in ``extras["mean_total_time"]``.
+    """
+
+    def __init__(self, samples: int = 20) -> None:
+        self.samples = samples
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        bound = ideal_schedule(clustered).total_time
+        with Stopwatch() as sw:
+            stats = average_random_mapping(
+                clustered, system, samples=self.samples, rng=rng
+            )
+        return MapOutcome(
+            mapper=self.name,
+            assignment=stats.best_assignment,
+            total_time=stats.best_total_time,
+            lower_bound=bound,
+            evaluations=stats.samples,
+            reached_lower_bound=stats.best_total_time <= bound,
+            wall_time=sw.elapsed,
+            extras={
+                "mean_total_time": stats.mean_total_time,
+                "worst_total_time": float(stats.worst_total_time),
+            },
+        )
+
+
+@register_mapper("bokhari")
+class BokhariAdapter:
+    """Bokhari's cardinality hill climbing, scored on total time."""
+
+    def __init__(
+        self, restarts: int = 4, max_passes: int = 20, weighted: bool = False
+    ) -> None:
+        self.restarts = restarts
+        self.max_passes = max_passes
+        self.weighted = weighted
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        bound = ideal_schedule(clustered).total_time
+        with Stopwatch() as sw:
+            result = bokhari_mapping(
+                clustered,
+                system,
+                rng=rng,
+                restarts=self.restarts,
+                max_passes=self.max_passes,
+                weighted=self.weighted,
+            )
+            time = total_time(clustered, system, result.assignment)
+        return MapOutcome(
+            mapper=self.name,
+            assignment=result.assignment,
+            total_time=time,
+            lower_bound=bound,
+            evaluations=result.evaluations,
+            reached_lower_bound=time <= bound,
+            wall_time=sw.elapsed,
+            extras={"cardinality": float(result.cardinality)},
+        )
+
+
+@register_mapper("lee")
+class LeeAggarwalAdapter:
+    """Lee & Aggarwal's communication-cost search, scored on total time."""
+
+    def __init__(self, restarts: int = 4, max_passes: int = 20) -> None:
+        self.restarts = restarts
+        self.max_passes = max_passes
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        bound = ideal_schedule(clustered).total_time
+        with Stopwatch() as sw:
+            result = lee_mapping(
+                clustered,
+                system,
+                rng=rng,
+                restarts=self.restarts,
+                max_passes=self.max_passes,
+            )
+            time = total_time(clustered, system, result.assignment)
+        return MapOutcome(
+            mapper=self.name,
+            assignment=result.assignment,
+            total_time=time,
+            lower_bound=bound,
+            evaluations=result.evaluations,
+            reached_lower_bound=time <= bound,
+            wall_time=sw.elapsed,
+            extras={"communication_cost": float(result.cost)},
+        )
+
+
+class _AnnealBase:
+    """Shared plumbing of the annealing and quenching adapters."""
+
+    quench = False
+
+    def __init__(
+        self,
+        initial_temperature: float | None = None,
+        cooling: float = 0.95,
+        moves_per_temperature: int | None = None,
+        min_temperature: float = 0.1,
+    ) -> None:
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.moves_per_temperature = moves_per_temperature
+        self.min_temperature = min_temperature
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        bound = ideal_schedule(clustered).total_time
+        with Stopwatch() as sw:
+            result = anneal_mapping(
+                clustered,
+                system,
+                rng=rng,
+                lower_bound=bound,
+                initial_temperature=self.initial_temperature,
+                cooling=self.cooling,
+                moves_per_temperature=self.moves_per_temperature,
+                min_temperature=self.min_temperature,
+                quench=self.quench,
+            )
+        return MapOutcome(
+            mapper=self.name,
+            assignment=result.assignment,
+            total_time=result.total_time,
+            lower_bound=bound,
+            evaluations=result.evaluations,
+            reached_lower_bound=result.reached_lower_bound,
+            wall_time=sw.elapsed,
+        )
+
+
+@register_mapper("annealing")
+class AnnealingAdapter(_AnnealBase):
+    """Classic simulated annealing on the total-time objective (ref [3])."""
+
+
+@register_mapper("quenching")
+class QuenchingAdapter(_AnnealBase):
+    """Zero-temperature annealing, i.e. randomized hill climbing (ref [14])."""
+
+    quench = True
+
+
+@register_mapper("genetic")
+class GeneticAdapter:
+    """Permutation GA (order crossover, tournament selection, elitism)."""
+
+    def __init__(
+        self,
+        population: int = 30,
+        generations: int = 40,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.2,
+        tournament: int = 3,
+    ) -> None:
+        self.population = population
+        self.generations = generations
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.tournament = tournament
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        bound = ideal_schedule(clustered).total_time
+        with Stopwatch() as sw:
+            result = genetic_mapping(
+                clustered,
+                system,
+                rng=rng,
+                population=self.population,
+                generations=self.generations,
+                crossover_rate=self.crossover_rate,
+                mutation_rate=self.mutation_rate,
+                tournament=self.tournament,
+                lower_bound=bound,
+            )
+        return MapOutcome(
+            mapper=self.name,
+            assignment=result.assignment,
+            total_time=result.total_time,
+            lower_bound=bound,
+            evaluations=result.evaluations,
+            reached_lower_bound=result.reached_lower_bound,
+            wall_time=sw.elapsed,
+            extras={"generations": float(result.generations)},
+        )
+
+
+@register_mapper("tabu")
+class TabuAdapter:
+    """Best-improvement tabu search over pairwise swaps."""
+
+    def __init__(self, iterations: int = 40, tenure: int | None = None) -> None:
+        self.iterations = iterations
+        self.tenure = tenure
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        bound = ideal_schedule(clustered).total_time
+        with Stopwatch() as sw:
+            result = tabu_mapping(
+                clustered,
+                system,
+                rng=rng,
+                iterations=self.iterations,
+                tenure=self.tenure,
+                lower_bound=bound,
+            )
+        return MapOutcome(
+            mapper=self.name,
+            assignment=result.assignment,
+            total_time=result.total_time,
+            lower_bound=bound,
+            evaluations=result.evaluations,
+            reached_lower_bound=result.reached_lower_bound,
+            wall_time=sw.elapsed,
+            extras={"iterations": float(result.iterations)},
+        )

@@ -1,0 +1,192 @@
+"""Batch engine: fan problem instances across mappers, optionally in parallel.
+
+Two entry points:
+
+* :func:`solve_many` — one mapper over a list of instances;
+* :func:`compare` — every (or a chosen subset of) registered mapper over
+  one instance, the head-to-head the paper's Sec. 5 tables are built on.
+
+Both derive one independent seed per (instance, mapper) work item from a
+single base seed via :class:`numpy.random.SeedSequence`, so results are
+bit-identical whether the batch runs serially or on a process pool, and
+regardless of worker count or completion order.  Parallelism uses
+``concurrent.futures.ProcessPoolExecutor`` because the schedule
+evaluation is CPU-bound numpy work that holds the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.clustered import ClusteredGraph
+from ..topology.base import SystemGraph
+from ..utils import MappingError
+from .outcome import MapOutcome
+from .registry import Mapper, get_mapper
+
+__all__ = ["ProblemInstance", "compare", "derive_seed", "solve_many"]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """One mapping problem: a clustered graph bound to a target machine."""
+
+    clustered: ClusteredGraph
+    system: SystemGraph
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.clustered.num_clusters != self.system.num_nodes:
+            raise MappingError(
+                f"instance {self.name!r}: {self.clustered.num_clusters} clusters "
+                f"cannot map onto {self.system.num_nodes} system nodes"
+            )
+
+
+def derive_seed(base_seed: int, index: int, mapper: str) -> int:
+    """Deterministic per-work-item seed.
+
+    Mixes the batch's base seed, the instance index, and the mapper name
+    through a :class:`numpy.random.SeedSequence`, giving statistically
+    independent streams that do not depend on execution order.
+    """
+    tag = zlib.crc32(mapper.encode("utf-8"))
+    ss = np.random.SeedSequence([int(base_seed), int(index), tag])
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
+@dataclass(frozen=True)
+class _WorkItem:
+    """Everything a worker process needs to run one mapper on one instance.
+
+    The mapper *instance* travels in the item (the protocol requires
+    mappers to be picklable), so custom mappers registered at runtime
+    work on any multiprocessing start method — workers never need to
+    re-resolve registry names.
+    """
+
+    index: int
+    instance: ProblemInstance
+    mapper: Mapper
+    seed: int = 0
+
+
+def _solve_item(item: _WorkItem) -> MapOutcome:
+    return item.mapper.map(item.instance.clustered, item.instance.system, rng=item.seed)
+
+
+def _run_items(items: Sequence[_WorkItem], max_workers: int | None) -> list[MapOutcome]:
+    if max_workers is not None and max_workers < 1:
+        raise MappingError(f"max_workers must be >= 1, got {max_workers}")
+    if max_workers == 1 or len(items) <= 1:
+        return [_solve_item(item) for item in items]
+    workers = min(max_workers or os.cpu_count() or 1, len(items))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_solve_item, items))
+
+
+def solve_many(
+    instances: Iterable[ProblemInstance | tuple[ClusteredGraph, SystemGraph]],
+    mapper: str | Mapper = "critical",
+    *,
+    seed: int | None = 0,
+    max_workers: int | None = 1,
+    **params: object,
+) -> list[MapOutcome]:
+    """Run one mapper over many instances; results keep input order.
+
+    Parameters
+    ----------
+    instances:
+        :class:`ProblemInstance` objects or bare ``(clustered, system)``
+        pairs.
+    mapper:
+        A registry name, or an already-built (picklable) :class:`Mapper`.
+    seed:
+        Base seed; each instance gets its own derived seed (see
+        :func:`derive_seed`).  ``None`` draws a fresh nondeterministic
+        base seed.
+    max_workers:
+        ``1`` (default) runs serially in-process; larger values use a
+        process pool.  ``None`` uses one worker per CPU (never more than
+        one per instance).
+    params:
+        Forwarded to the mapper factory, identically for every instance
+        (only valid with a mapper *name*).
+    """
+    if isinstance(mapper, str):
+        built = get_mapper(mapper, **params)
+    elif params:
+        raise TypeError(
+            "mapper parameters can only be given with a mapper *name*; "
+            f"got an instantiated mapper and params {sorted(params)}"
+        )
+    else:
+        built = mapper
+    base = _resolve_base_seed(seed)
+    normalized = [_as_instance(obj, i) for i, obj in enumerate(instances)]
+    items = [
+        _WorkItem(
+            index=i,
+            instance=inst,
+            mapper=built,
+            seed=derive_seed(base, i, built.name),
+        )
+        for i, inst in enumerate(normalized)
+    ]
+    return _run_items(items, max_workers)
+
+
+def compare(
+    clustered: ClusteredGraph,
+    system: SystemGraph,
+    mappers: Sequence[str] | None = None,
+    *,
+    seed: int | None = 0,
+    max_workers: int | None = 1,
+    mapper_params: dict[str, dict[str, object]] | None = None,
+) -> list[MapOutcome]:
+    """Score several mappers head-to-head on one instance.
+
+    ``mappers`` defaults to every registered mapper (sorted by name);
+    ``mapper_params`` optionally supplies per-mapper constructor keyword
+    arguments, e.g. ``{"random": {"samples": 50}}``.  Returns one
+    :class:`MapOutcome` per mapper, in the order requested.
+    """
+    from .registry import available_mappers
+
+    names = list(mappers) if mappers is not None else available_mappers()
+    base = _resolve_base_seed(seed)
+    instance = ProblemInstance(clustered, system, name="compare")
+    mapper_params = mapper_params or {}
+    items = [
+        _WorkItem(
+            index=0,
+            instance=instance,
+            mapper=get_mapper(name, **mapper_params.get(name, {})),
+            seed=derive_seed(base, 0, name),
+        )
+        for name in names
+    ]
+    return _run_items(items, max_workers)
+
+
+def _resolve_base_seed(seed: int | None) -> int:
+    if seed is not None:
+        return int(seed)
+    return int(np.random.SeedSequence().generate_state(1, dtype=np.uint64)[0])
+
+
+def _as_instance(
+    obj: ProblemInstance | tuple[ClusteredGraph, SystemGraph], index: int
+) -> ProblemInstance:
+    if isinstance(obj, ProblemInstance):
+        return obj
+    clustered, system = obj
+    return ProblemInstance(clustered, system, name=f"instance{index}")

@@ -1,0 +1,94 @@
+"""One-call entry points: ``solve`` an instance, render a ``compare`` table.
+
+The facade is the narrow waist of the library::
+
+    from repro.api import solve
+    outcome = solve(graph, clustering, system, mapper="tabu", rng=7)
+
+accepts any registered mapper by name, wires the clustering to the graph,
+and returns the uniform :class:`~repro.api.outcome.MapOutcome`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.clustered import ClusteredGraph, Clustering
+from ..core.taskgraph import TaskGraph
+from ..topology.base import SystemGraph
+from .outcome import MapOutcome
+from .registry import Mapper, get_mapper
+
+__all__ = ["solve", "solve_instance", "format_comparison"]
+
+
+def solve(
+    graph: TaskGraph,
+    clustering: Clustering,
+    system: SystemGraph,
+    mapper: str | Mapper = "critical",
+    rng: int | np.random.Generator | None = None,
+    **params: object,
+) -> MapOutcome:
+    """Map ``graph`` (under ``clustering``) onto ``system`` with one mapper.
+
+    ``mapper`` is a registry name (see
+    :func:`~repro.api.registry.available_mappers`) or an already-built
+    :class:`~repro.api.registry.Mapper`; ``params`` go to the mapper
+    factory when a name is given.
+
+    >>> from repro.api import solve
+    >>> from repro.workloads import layered_random_dag
+    >>> from repro.clustering import RandomClusterer
+    >>> from repro.topology import hypercube
+    >>> g = layered_random_dag(num_tasks=40, rng=1)
+    >>> c = RandomClusterer(num_clusters=8).cluster(g, rng=1)
+    >>> outcome = solve(g, c, hypercube(3), mapper="tabu", rng=1)
+    >>> outcome.total_time >= outcome.lower_bound
+    True
+    """
+    return solve_instance(
+        ClusteredGraph(graph, clustering), system, mapper=mapper, rng=rng, **params
+    )
+
+
+def solve_instance(
+    clustered: ClusteredGraph,
+    system: SystemGraph,
+    mapper: str | Mapper = "critical",
+    rng: int | np.random.Generator | None = None,
+    **params: object,
+) -> MapOutcome:
+    """Like :func:`solve` for an already-clustered instance."""
+    if isinstance(mapper, str):
+        mapper = get_mapper(mapper, **params)
+    elif params:
+        raise TypeError(
+            "mapper parameters can only be given with a mapper *name*; "
+            f"got an instantiated mapper and params {sorted(params)}"
+        )
+    return mapper.map(clustered, system, rng=rng)
+
+
+def format_comparison(outcomes: list[MapOutcome]) -> str:
+    """Render a ``compare()`` result as the paper-style normalized table."""
+    from ..analysis.tables import render_table
+
+    body = []
+    for o in sorted(outcomes, key=lambda o: o.total_time):
+        body.append(
+            [
+                o.mapper,
+                str(o.total_time),
+                f"{o.percent_of_lower_bound():.1f}%",
+                "yes" if o.reached_lower_bound else "no",
+                str(o.evaluations),
+                f"{o.wall_time:.3f}s",
+            ]
+        )
+    bound = outcomes[0].lower_bound if outcomes else 0
+    return render_table(
+        ["mapper", "total time", "% of bound", "optimal", "evals", "wall"],
+        body,
+        title=f"Mapper comparison (lower bound = {bound})",
+    )

@@ -1,0 +1,81 @@
+"""The mapper-agnostic result type shared by every registered mapper.
+
+Each of the repo's mappers historically returned its own dataclass
+(:class:`~repro.core.mapper.MappingResult`, ``AnnealResult``,
+``BokhariResult``, ...) with bespoke fields.  :class:`MapOutcome` is the
+common denominator the :mod:`repro.api` facade normalizes them to, so
+experiments, the CLI, and the batch engine can treat all mappers
+uniformly.  Mapper-specific detail (mean random time, cardinality,
+generation count, ...) survives in :attr:`MapOutcome.extras`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.assignment import Assignment
+from ..utils import MappingError
+
+__all__ = ["MapOutcome"]
+
+
+@dataclass(frozen=True)
+class MapOutcome:
+    """Uniform outcome of one mapper on one (clustered graph, system) instance.
+
+    Parameters
+    ----------
+    mapper:
+        Registry name of the mapper that produced this outcome.
+    assignment:
+        The best assignment found.
+    total_time:
+        Makespan of ``assignment`` under the paper's execution model.
+    lower_bound:
+        The ideal-graph lower bound of the instance (Theorem 2).
+    evaluations:
+        Objective evaluations (or refinement trials, for the
+        critical-edge strategy) spent by the search.
+    reached_lower_bound:
+        True when the search terminated by hitting the bound (Theorem 3),
+        which certifies optimality.
+    wall_time:
+        Wall-clock seconds spent inside the mapper.
+    extras:
+        Mapper-specific scalars (e.g. ``mean_total_time`` for the random
+        baseline, ``cardinality`` for Bokhari).  Treat as read-only.
+    """
+
+    mapper: str
+    assignment: Assignment
+    total_time: int
+    lower_bound: int
+    evaluations: int
+    reached_lower_bound: bool
+    wall_time: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.lower_bound <= 0:
+            raise MappingError(f"lower bound must be positive, got {self.lower_bound}")
+        if self.total_time < self.lower_bound:
+            raise MappingError(
+                f"mapper {self.mapper!r} reports total time {self.total_time} "
+                f"below the lower bound {self.lower_bound} — the bound proof "
+                "or the mapper is broken"
+            )
+
+    @property
+    def is_provably_optimal(self) -> bool:
+        """Alias of :attr:`reached_lower_bound` (Theorem 3 fired)."""
+        return self.reached_lower_bound
+
+    def percent_of_lower_bound(self) -> float:
+        """The paper's reporting metric: ``100 * total_time / lower_bound``."""
+        return 100.0 * self.total_time / self.lower_bound
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MapOutcome(mapper={self.mapper!r}, total_time={self.total_time}, "
+            f"lower_bound={self.lower_bound}, optimal={self.reached_lower_bound})"
+        )

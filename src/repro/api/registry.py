@@ -1,0 +1,104 @@
+"""Mapper protocol and the name -> mapper-factory registry.
+
+Every mapping algorithm in the repo is reachable through one uniform
+interface::
+
+    mapper = get_mapper("tabu", iterations=60)
+    outcome = mapper.map(clustered, system, rng=7)
+
+Registration happens via the :func:`register_mapper` class decorator (see
+:mod:`repro.api.adapters` for the built-in registrations).  The registry
+is what lets the experiment runner, the CLI, and the batch engine accept
+a mapper *name* instead of hard-coding imports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.clustered import ClusteredGraph
+from ..topology.base import SystemGraph
+from ..utils import MappingError
+from .outcome import MapOutcome
+
+__all__ = [
+    "Mapper",
+    "DuplicateMapperError",
+    "UnknownMapperError",
+    "available_mappers",
+    "get_mapper",
+    "register_mapper",
+]
+
+
+@runtime_checkable
+class Mapper(Protocol):
+    """What the facade and batch engine require of a mapper.
+
+    ``name`` identifies the mapper in reports; ``map`` runs it on one
+    instance.  Mappers must be deterministic given ``rng`` (an int seed
+    or a :class:`numpy.random.Generator`) and must be picklable so the
+    batch engine can ship them to worker processes.
+    """
+
+    name: str
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome: ...
+
+
+class DuplicateMapperError(MappingError):
+    """A mapper name was registered twice."""
+
+
+class UnknownMapperError(MappingError):
+    """A mapper name is not in the registry."""
+
+
+_REGISTRY: dict[str, Callable[..., Mapper]] = {}
+
+
+def register_mapper(name: str) -> Callable[[type], type]:
+    """Class decorator registering a mapper factory under ``name``.
+
+    The decorated class gains a ``name`` attribute; instantiating it with
+    keyword parameters must yield a :class:`Mapper`.
+    """
+    if not name or not name.islower() or not name.replace("_", "").isalnum():
+        raise MappingError(
+            f"mapper names must be lowercase identifiers, got {name!r}"
+        )
+
+    def decorate(factory: type) -> type:
+        if name in _REGISTRY:
+            raise DuplicateMapperError(
+                f"mapper {name!r} is already registered "
+                f"(by {_REGISTRY[name].__qualname__})"
+            )
+        factory.name = name
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def available_mappers() -> list[str]:
+    """Sorted names of every registered mapper."""
+    return sorted(_REGISTRY)
+
+
+def get_mapper(name: str, **params: object) -> Mapper:
+    """Instantiate the mapper registered under ``name`` with ``params``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownMapperError(
+            f"unknown mapper {name!r}; available: {', '.join(available_mappers())}"
+        ) from None
+    return factory(**params)

@@ -10,7 +10,8 @@
     mimdmap ablations [--seed N]             # A1-A3, A5 summaries
     mimdmap matrices                         # Sec. 3 matrix dump for the example
     mimdmap sensitivity [--seed N]           # workload-knob sensitivity sweeps
-    mimdmap map --tasks N --topology F --size K  # one-off mapping + report
+    mimdmap map --tasks N --topology F --size K [--mapper M]  # one-off mapping
+    mimdmap compare [--mappers a,b,...]      # all registered mappers, one instance
 
 Also runnable as ``python -m repro ...``.
 """
@@ -54,23 +55,50 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sensitivity", help="workload-knob sensitivity sweeps")
     p.add_argument("--seed", type=int, default=5)
 
+    from .api import available_mappers
+
+    def add_instance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tasks", type=int, default=80, help="problem graph size np")
+        p.add_argument(
+            "--topology",
+            default="hypercube",
+            help="topology family (hypercube, mesh, torus, ring, chain, star, "
+            "complete, random)",
+        )
+        p.add_argument("--size", type=int, default=8, help="system graph size ns")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--clusterer",
+            default="random",
+            choices=["random", "band", "load", "linear", "edgezero", "dsc"],
+            help="clustering algorithm for the np -> na step",
+        )
+
     p = sub.add_parser("map", help="map one random workload and print the report")
-    p.add_argument("--tasks", type=int, default=80, help="problem graph size np")
+    add_instance_args(p)
     p.add_argument(
-        "--topology",
-        default="hypercube",
-        help="topology family (hypercube, mesh, torus, ring, chain, star, "
-        "complete, random)",
-    )
-    p.add_argument("--size", type=int, default=8, help="system graph size ns")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument(
-        "--clusterer",
-        default="random",
-        choices=["random", "band", "load", "linear", "edgezero", "dsc"],
-        help="clustering algorithm for the np -> na step",
+        "--mapper",
+        default="critical",
+        choices=available_mappers(),
+        help="mapping algorithm (default: the paper's critical-edge strategy)",
     )
     p.add_argument("--gantt", action="store_true", help="print the schedule chart")
+
+    p = sub.add_parser(
+        "compare", help="score every registered mapper on one random instance"
+    )
+    add_instance_args(p)
+    p.add_argument(
+        "--mappers",
+        default=None,
+        help="comma-separated mapper names (default: all registered)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for running the mappers in parallel",
+    )
     return parser
 
 
@@ -92,6 +120,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_sensitivity(args.seed)
     elif command == "map":
         _run_map(args)
+    elif command == "compare":
+        _run_compare(args)
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command!r}")
     return 0
@@ -190,8 +220,8 @@ def _run_sensitivity(seed: int) -> None:
     print(format_sweep(sweep_problem_size(rng=seed), "Problem size np"))
 
 
-def _run_map(args: argparse.Namespace) -> None:
-    from .analysis import compute_metrics, format_metrics, render_gantt
+def _build_instance(args: argparse.Namespace):
+    """One random (clustered graph, system) instance from the CLI knobs."""
     from .clustering import (
         BandClusterer,
         DscClusterer,
@@ -200,7 +230,7 @@ def _run_map(args: argparse.Namespace) -> None:
         LoadBalanceClusterer,
         RandomClusterer,
     )
-    from .core import map_graph
+    from .core import ClusteredGraph
     from .topology import by_name
     from .workloads import layered_random_dag
 
@@ -217,23 +247,70 @@ def _run_map(args: argparse.Namespace) -> None:
     clustering = clusterers[args.clusterer](system.num_nodes).cluster(
         graph, rng=args.seed
     )
-    result = map_graph(graph, clustering, system, rng=args.seed)
+    return ClusteredGraph(graph, clustering), system
 
-    print(f"workload   : {graph}")
+
+def _run_map(args: argparse.Namespace) -> None:
+    from .analysis import compute_metrics, format_metrics, render_gantt
+    from .api import solve_instance
+    from .core import evaluate_assignment
+
+    clustered, system = _build_instance(args)
+    outcome = solve_instance(clustered, system, mapper=args.mapper, rng=args.seed)
+    schedule = evaluate_assignment(clustered, system, outcome.assignment)
+
+    print(f"workload   : {clustered.graph}")
     print(f"machine    : {system}")
     print(f"clusterer  : {args.clusterer}")
-    print(f"lower bound: {result.lower_bound}")
+    print(f"mapper     : {outcome.mapper}")
+    print(f"lower bound: {outcome.lower_bound}")
     print(
-        f"mapped     : {result.total_time} "
-        f"({result.percent_over_lower_bound():.1f}% of the bound, "
-        f"optimal: {result.is_provably_optimal})"
+        f"mapped     : {outcome.total_time} "
+        f"({outcome.percent_of_lower_bound():.1f}% of the bound, "
+        f"optimal: {outcome.is_provably_optimal})"
     )
-    print(f"assignment : {result.assignment.assi.tolist()}")
+    print(f"assignment : {outcome.assignment.assi.tolist()}")
     print()
-    print(format_metrics(compute_metrics(result.schedule)))
+    print(format_metrics(compute_metrics(schedule)))
     if args.gantt:
         print()
-        print(render_gantt(result.schedule, max_rows=60))
+        print(render_gantt(schedule, max_rows=60))
+
+
+def _run_compare(args: argparse.Namespace) -> None:
+    from .api import available_mappers, compare, format_comparison
+
+    if args.workers < 1:
+        raise SystemExit(f"mimdmap compare: error: --workers must be >= 1, got {args.workers}")
+    mappers = None
+    if args.mappers is not None:
+        names = [name.strip() for name in args.mappers.split(",") if name.strip()]
+        seen: set[str] = set()
+        mappers = [m for m in names if not (m in seen or seen.add(m))]
+        if not mappers:
+            raise SystemExit(
+                "mimdmap compare: error: --mappers needs at least one mapper name "
+                f"(choose from {', '.join(available_mappers())})"
+            )
+        unknown = sorted(set(mappers) - set(available_mappers()))
+        if unknown:
+            raise SystemExit(
+                f"mimdmap compare: error: unknown mapper(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(available_mappers())})"
+            )
+    clustered, system = _build_instance(args)
+    outcomes = compare(
+        clustered,
+        system,
+        mappers=mappers,
+        seed=args.seed,
+        max_workers=args.workers,
+    )
+    print(f"workload   : {clustered.graph}")
+    print(f"machine    : {system}")
+    print(f"clusterer  : {args.clusterer}")
+    print()
+    print(format_comparison(outcomes))
 
 
 if __name__ == "__main__":  # pragma: no cover

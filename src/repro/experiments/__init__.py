@@ -2,6 +2,7 @@
 tables and figures plus the ablations DESIGN.md calls out."""
 
 from .ablations import (
+    BASELINE_LABELS,
     AblationRow,
     default_ablation_systems,
     run_baseline_comparison,
@@ -51,6 +52,7 @@ from .worked_example import (
 
 __all__ = [
     "AblationRow",
+    "BASELINE_LABELS",
     "ClusteringStudyRow",
     "CounterexampleReport",
     "ExperimentConfig",

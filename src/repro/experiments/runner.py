@@ -4,8 +4,9 @@ One experiment (one row of Tables 1-3) is:
 
 1. generate a random problem graph (``np`` in [30, 300]),
 2. randomly cluster it into ``na == ns`` clusters,
-3. map with the critical-edge strategy (initial + refinement +
-   termination condition),
+3. map with the configured mapper (default: the critical-edge strategy
+   with initial + refinement + termination condition) via the
+   :mod:`repro.api` registry,
 4. map the same instance with ``random_samples`` random assignments and
    average their total times,
 5. report both as percentages over the ideal lower bound.
@@ -14,14 +15,15 @@ One experiment (one row of Tables 1-3) is:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from ..analysis.stats import ExperimentRow
+from ..api import MapOutcome, get_mapper
 from ..baselines.random_map import average_random_mapping
 from ..clustering.simple import RandomClusterer
 from ..core.clustered import ClusteredGraph
-from ..core.mapper import CriticalEdgeMapper, MappingResult
 from ..topology.base import SystemGraph
 from ..utils import as_rng
 from ..workloads.random_dag import layered_random_dag
@@ -38,7 +40,7 @@ class ExperimentConfig:
     calibrated so the reproduction matches the paper's *shape* — proposed
     mapping within ~0-25% of the lower bound, averaged random mapping
     ~20-90% above it, and a sizable fraction of runs terminating by
-    hitting the bound (see EXPERIMENTS.md for the sensitivity study):
+    hitting the bound (``mimdmap sensitivity`` reruns the calibration):
 
     * ``extra_edges_per_task = 0.5`` keeps the mean degree constant as
       graphs grow (task graphs from real programs are sparse); dense
@@ -50,6 +52,11 @@ class ExperimentConfig:
       the termination condition fires mostly on small instances (short
       critical chains embed exactly), and the paper's per-table hit
       counts (7/11 on meshes) require many such instances.
+
+    ``mapper`` names any registered mapper (``repro.api.available_mappers()``);
+    ``mapper_params`` are extra factory keywords for it.  The legacy
+    ``refinement``/``refinement_trials`` knobs keep configuring the
+    default ``critical`` mapper.
     """
 
     min_tasks: int = 30
@@ -62,6 +69,16 @@ class ExperimentConfig:
     comm_range: tuple[int, int] = (1, 5)
     refinement: str = "random"
     refinement_trials: int | None = None  # None = the paper's ns
+    mapper: str = "critical"
+    mapper_params: Mapping[str, object] = field(default_factory=dict)
+
+    def mapper_factory_params(self) -> dict[str, object]:
+        """Constructor keywords for :func:`repro.api.get_mapper`."""
+        params = dict(self.mapper_params)
+        if self.mapper == "critical":
+            params.setdefault("refinement", self.refinement)
+            params.setdefault("refinement_trials", self.refinement_trials)
+        return params
 
 
 def run_experiment(
@@ -70,8 +87,8 @@ def run_experiment(
     config: ExperimentConfig = ExperimentConfig(),
     rng: int | np.random.Generator | None = None,
     num_tasks: int | None = None,
-) -> tuple[ExperimentRow, MappingResult]:
-    """Run one experiment on ``system``; returns the table row and the result."""
+) -> tuple[ExperimentRow, MapOutcome]:
+    """Run one experiment on ``system``; returns the table row and the outcome."""
     gen = as_rng(rng)
     ns = system.num_nodes
     if num_tasks is None:
@@ -93,12 +110,8 @@ def run_experiment(
     clustering = RandomClusterer(num_clusters=ns).cluster(graph, rng=gen)
     clustered = ClusteredGraph(graph, clustering)
 
-    mapper = CriticalEdgeMapper(
-        refinement=config.refinement,
-        refinement_trials=config.refinement_trials,
-        rng=gen,
-    )
-    result = mapper.map(clustered, system)
+    mapper = get_mapper(config.mapper, **config.mapper_factory_params())
+    outcome = mapper.map(clustered, system, rng=gen)
     random_stats = average_random_mapping(
         clustered, system, samples=config.random_samples, rng=gen
     )
@@ -107,12 +120,12 @@ def run_experiment(
         num_tasks=num_tasks,
         num_processors=ns,
         topology=system.name,
-        lower_bound=result.lower_bound,
-        our_total_time=result.total_time,
+        lower_bound=outcome.lower_bound,
+        our_total_time=outcome.total_time,
         random_mean_total_time=random_stats.mean_total_time,
-        reached_lower_bound=result.is_provably_optimal,
+        reached_lower_bound=outcome.reached_lower_bound,
     )
-    return row, result
+    return row, outcome
 
 
 def run_table(

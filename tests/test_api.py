@@ -1,0 +1,267 @@
+"""Conformance suite for the unified mapper API (``repro.api``).
+
+Every registered mapper must satisfy the same contract on the same
+fixture instance: a valid :class:`MapOutcome` whose assignment passes the
+independent schedule oracle, total time at or above the ideal lower
+bound, and bit-identical results under a fixed seed.  Registry error
+paths (duplicate registration, unknown names) and the batch engine's
+serial/parallel equivalence are covered here too.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    DuplicateMapperError,
+    MapOutcome,
+    ProblemInstance,
+    UnknownMapperError,
+    available_mappers,
+    compare,
+    derive_seed,
+    get_mapper,
+    register_mapper,
+    solve,
+    solve_instance,
+    solve_many,
+)
+from repro.clustering import RandomClusterer
+from repro.core import (
+    Assignment,
+    ClusteredGraph,
+    evaluate_assignment,
+    verify_schedule,
+)
+from repro.topology import hypercube, ring
+from repro.utils import MappingError
+from repro.workloads import layered_random_dag
+
+ALL_MAPPERS = available_mappers()
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    """A seeded 24-task instance on a 2-cube, shared by the conformance runs."""
+    graph = layered_random_dag(num_tasks=24, rng=11)
+    clustering = RandomClusterer(num_clusters=4).cluster(graph, rng=11)
+    return ClusteredGraph(graph, clustering), hypercube(2)
+
+
+class TestRegistry:
+    def test_all_eight_mappers_registered(self):
+        assert set(ALL_MAPPERS) >= {
+            "critical",
+            "random",
+            "bokhari",
+            "lee",
+            "annealing",
+            "quenching",
+            "genetic",
+            "tabu",
+        }
+
+    def test_get_mapper_sets_name(self):
+        for name in ALL_MAPPERS:
+            assert get_mapper(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownMapperError, match="critical"):
+            get_mapper("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DuplicateMapperError, match="tabu"):
+
+            @register_mapper("tabu")
+            class Impostor:
+                pass
+
+        assert get_mapper("tabu").__class__.__name__ == "TabuAdapter"
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(MappingError):
+            register_mapper("Not A Name")
+
+    def test_params_reach_the_factory(self):
+        mapper = get_mapper("random", samples=3)
+        assert mapper.samples == 3
+        with pytest.raises(TypeError):
+            get_mapper("random", no_such_param=1)
+
+
+class TestConformance:
+    """The shared MapOutcome invariants, one run per registered mapper."""
+
+    @pytest.mark.parametrize("name", ALL_MAPPERS)
+    def test_outcome_invariants(self, small_instance, name):
+        clustered, system = small_instance
+        outcome = solve_instance(clustered, system, mapper=name, rng=5)
+        assert isinstance(outcome, MapOutcome)
+        assert outcome.mapper == name
+        assert outcome.total_time >= outcome.lower_bound
+        assert outcome.evaluations >= 0
+        assert outcome.wall_time >= 0.0
+        # The assignment must be a real permutation producing a schedule
+        # the independent oracle accepts, with the reported makespan.
+        assert isinstance(outcome.assignment, Assignment)
+        schedule = evaluate_assignment(clustered, system, outcome.assignment)
+        verify_schedule(schedule)
+        assert schedule.total_time == outcome.total_time
+        if outcome.reached_lower_bound:
+            assert outcome.total_time == outcome.lower_bound
+
+    @pytest.mark.parametrize("name", ALL_MAPPERS)
+    def test_deterministic_under_fixed_seed(self, small_instance, name):
+        clustered, system = small_instance
+        a = solve_instance(clustered, system, mapper=name, rng=42)
+        b = solve_instance(clustered, system, mapper=name, rng=42)
+        assert a.assignment == b.assignment
+        assert a.total_time == b.total_time
+        assert a.evaluations == b.evaluations
+
+
+class TestFacade:
+    def test_solve_binds_clustering(self, small_instance):
+        clustered, system = small_instance
+        outcome = solve(
+            clustered.graph, clustered.clustering, system, mapper="critical", rng=1
+        )
+        assert outcome.total_time >= outcome.lower_bound
+
+    def test_solve_accepts_mapper_instance(self, small_instance):
+        clustered, system = small_instance
+        mapper = get_mapper("tabu", iterations=5)
+        outcome = solve_instance(clustered, system, mapper=mapper, rng=1)
+        assert outcome.mapper == "tabu"
+
+    def test_params_with_instance_rejected(self, small_instance):
+        clustered, system = small_instance
+        with pytest.raises(TypeError, match="name"):
+            solve_instance(
+                clustered, system, mapper=get_mapper("tabu"), rng=1, iterations=5
+            )
+
+    def test_package_root_reexports(self):
+        assert repro.solve is solve
+        assert repro.available_mappers is available_mappers
+        assert repro.MapOutcome is MapOutcome
+
+    def test_outcome_rejects_impossible_report(self, small_instance):
+        clustered, system = small_instance
+        with pytest.raises(MappingError, match="below the lower bound"):
+            MapOutcome(
+                mapper="bogus",
+                assignment=Assignment.identity(4),
+                total_time=3,
+                lower_bound=10,
+                evaluations=0,
+                reached_lower_bound=False,
+                wall_time=0.0,
+            )
+
+
+def _instances(count=4, tasks=20):
+    out = []
+    for seed in range(count):
+        graph = layered_random_dag(num_tasks=tasks, rng=seed)
+        clustering = RandomClusterer(num_clusters=4).cluster(graph, rng=seed)
+        out.append(
+            ProblemInstance(ClusteredGraph(graph, clustering), ring(4), name=f"i{seed}")
+        )
+    return out
+
+
+class _IdentityMapper:
+    """Minimal custom Mapper (module-level so it pickles to workers)."""
+
+    name = "identity"
+
+    def map(self, clustered, system, rng=None):
+        from repro.core import Assignment, evaluate_assignment, ideal_schedule
+
+        assignment = Assignment.identity(system.num_nodes)
+        schedule = evaluate_assignment(clustered, system, assignment)
+        return MapOutcome(
+            mapper=self.name,
+            assignment=assignment,
+            total_time=schedule.total_time,
+            lower_bound=ideal_schedule(clustered).total_time,
+            evaluations=1,
+            reached_lower_bound=False,
+            wall_time=0.0,
+        )
+
+
+class TestBatch:
+    def test_custom_mapper_instance_parallel(self):
+        # An unregistered mapper instance ships to the worker processes.
+        outcomes = solve_many(
+            _instances(3), mapper=_IdentityMapper(), seed=1, max_workers=2
+        )
+        assert [o.mapper for o in outcomes] == ["identity"] * 3
+
+    def test_instance_with_params_rejected(self):
+        with pytest.raises(TypeError, match="name"):
+            solve_many(_instances(1), mapper=_IdentityMapper(), samples=3)
+
+    def test_solve_many_serial(self):
+        outcomes = solve_many(_instances(), mapper="critical", seed=9)
+        assert len(outcomes) == 4
+        assert all(o.total_time >= o.lower_bound for o in outcomes)
+
+    @pytest.mark.parametrize("mapper", ["critical", "annealing"])
+    def test_parallel_matches_serial(self, mapper):
+        instances = _instances()
+        serial = solve_many(instances, mapper=mapper, seed=9, max_workers=1)
+        parallel = solve_many(instances, mapper=mapper, seed=9, max_workers=3)
+        for a, b in zip(serial, parallel):
+            assert a.assignment == b.assignment
+            assert a.total_time == b.total_time
+            assert a.evaluations == b.evaluations
+
+    def test_accepts_bare_pairs(self):
+        pairs = [(inst.clustered, inst.system) for inst in _instances(2)]
+        outcomes = solve_many(pairs, mapper="random", seed=0, samples=5)
+        assert [o.evaluations for o in outcomes] == [5, 5]
+
+    def test_bad_workers(self):
+        with pytest.raises(MappingError):
+            solve_many(_instances(1), max_workers=0)
+
+    def test_mismatched_instance_rejected(self):
+        graph = layered_random_dag(num_tasks=12, rng=0)
+        clustering = RandomClusterer(num_clusters=4).cluster(graph, rng=0)
+        with pytest.raises(MappingError, match="clusters"):
+            ProblemInstance(ClusteredGraph(graph, clustering), ring(5))
+
+    def test_derived_seeds_differ(self):
+        seeds = {derive_seed(0, i, m) for i in range(3) for m in ("tabu", "genetic")}
+        assert len(seeds) == 6
+        assert derive_seed(1, 2, "tabu") == derive_seed(1, 2, "tabu")
+
+
+class TestCompare:
+    def test_one_outcome_per_mapper(self, small_instance):
+        clustered, system = small_instance
+        outcomes = compare(clustered, system, seed=2)
+        assert [o.mapper for o in outcomes] == ALL_MAPPERS
+        bound = outcomes[0].lower_bound
+        assert all(o.lower_bound == bound for o in outcomes)
+
+    def test_subset_and_params(self, small_instance):
+        clustered, system = small_instance
+        outcomes = compare(
+            clustered,
+            system,
+            mappers=["random", "tabu"],
+            seed=2,
+            mapper_params={"random": {"samples": 7}},
+        )
+        assert [o.mapper for o in outcomes] == ["random", "tabu"]
+        assert outcomes[0].evaluations == 7
+
+    def test_deterministic(self, small_instance):
+        clustered, system = small_instance
+        a = compare(clustered, system, mappers=["genetic"], seed=3)[0]
+        b = compare(clustered, system, mappers=["genetic"], seed=3)[0]
+        assert a.assignment == b.assignment

@@ -65,9 +65,59 @@ class TestCommands:
         assert "speedup" in out
         assert "time |" in out  # the gantt chart
 
+    def test_map_with_mapper(self, capsys):
+        assert (
+            main(
+                [
+                    "map", "--tasks", "24", "--topology", "ring", "--size", "4",
+                    "--seed", "3", "--mapper", "tabu",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mapper     : tabu" in out
+        assert "lower bound:" in out
+        assert "speedup" in out
+
     def test_map_bad_clusterer(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["map", "--clusterer", "magic"])
+
+    def test_map_bad_mapper(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "--mapper", "magic"])
+
+    def test_compare(self, capsys):
+        assert (
+            main(
+                [
+                    "compare", "--tasks", "24", "--topology", "ring", "--size", "4",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Mapper comparison (lower bound =" in out
+        from repro.api import available_mappers
+
+        for name in available_mappers():
+            assert name in out
+
+    def test_compare_subset(self, capsys):
+        assert (
+            main(
+                [
+                    "compare", "--tasks", "24", "--topology", "ring", "--size", "4",
+                    "--seed", "3", "--mappers", "critical,random",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "critical" in out
+        assert "tabu" not in out
 
     def test_sensitivity_parses(self):
         args = build_parser().parse_args(["sensitivity", "--seed", "2"])

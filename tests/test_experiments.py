@@ -53,6 +53,30 @@ class TestRunner:
         assert [r.index for r in rows] == [1, 2]
         assert rows[0].topology == "ring-4"
 
+    def test_runner_takes_mapper_name(self):
+        config = ExperimentConfig(
+            min_tasks=30, max_tasks=60, random_samples=5, mapper="tabu",
+            mapper_params={"iterations": 5},
+        )
+        row, outcome = run_experiment(1, hypercube(2), config, rng=0, num_tasks=30)
+        assert outcome.mapper == "tabu"
+        assert row.our_total_time == outcome.total_time
+        assert row.our_total_time >= row.lower_bound
+
+    def test_runner_unknown_mapper(self):
+        from repro.api import UnknownMapperError
+
+        config = ExperimentConfig(mapper="nope")
+        with pytest.raises(UnknownMapperError):
+            run_experiment(1, hypercube(2), config, rng=0, num_tasks=30)
+
+    def test_refinement_knobs_reach_critical_mapper(self):
+        config = ExperimentConfig(
+            min_tasks=30, max_tasks=60, random_samples=5, refinement="none"
+        )
+        _, outcome = run_experiment(1, hypercube(2), config, rng=0, num_tasks=30)
+        assert outcome.evaluations == 0  # no refinement trials ran
+
 
 class TestTableSystems:
     def test_table1_all_hypercubes(self):
