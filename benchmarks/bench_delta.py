@@ -1,0 +1,179 @@
+"""Benchmark and correctness guard for the delta-evaluation fast path.
+
+Two modes:
+
+* default — time per-move evaluation on a large layered random DAG for
+  the annealing/tabu-style inner loops: the old path (full
+  :func:`repro.core.evaluate.total_time` per candidate, O(V^2) comm
+  matrix per call) against the new :class:`repro.core.DeltaEvaluator`
+  probe path, plus the genetic-style full-evaluation fast path.  Results
+  are printed and recorded under ``benchmarks/results/bench_delta.txt``.
+* ``--smoke`` — the CI guard: randomized move sequences on small
+  instances across several topologies; every delta-accumulated aggregate
+  must match a full re-evaluation bit-for-bit.  Exits 1 on any mismatch.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_delta.py            # timings
+    PYTHONPATH=src python benchmarks/bench_delta.py --smoke    # CI guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.clustering import RandomClusterer
+from repro.core import Assignment, ClusteredGraph, DeltaEvaluator, total_time
+from repro.topology import hypercube, mesh2d, ring, torus2d
+from repro.workloads import layered_random_dag
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_delta.txt"
+
+
+def build_instance(num_tasks: int, system, seed: int):
+    graph = layered_random_dag(num_tasks=num_tasks, rng=seed)
+    clustering = RandomClusterer(system.num_nodes).cluster(graph, rng=seed)
+    return ClusteredGraph(graph, clustering), system
+
+
+def smoke(seed: int) -> int:
+    """Cross-check delta vs full evaluation; returns the exit code."""
+    cases = [
+        ("hypercube-8", hypercube(3)),
+        ("mesh-2x4", mesh2d(2, 4)),
+        ("torus-3x3", torus2d(3, 3)),
+        ("ring-6", ring(6)),
+    ]
+    failures = 0
+    for name, system in cases:
+        clustered, system = build_instance(8 * system.num_nodes, system, seed)
+        n = system.num_nodes
+        gen = np.random.default_rng(seed)
+        shadow = Assignment.random(n, rng=seed)
+        ev = DeltaEvaluator(clustered, system, shadow)
+        for step in range(60):
+            a, b = (int(x) for x in gen.choice(n, size=2, replace=False))
+            probed = ev.probe_swap(a, b)
+            oracle = total_time(clustered, system, shadow.swapped(a, b))
+            if probed != oracle:
+                print(f"FAIL {name} step {step}: probe {probed} != full {oracle}")
+                failures += 1
+                break
+            if step % 2 == 0:
+                ev.swap(a, b)
+                shadow = shadow.swapped(a, b)
+            if not ev.verify():
+                print(f"FAIL {name} step {step}: aggregates diverged from oracle")
+                failures += 1
+                break
+        else:
+            print(f"ok   {name}: 60 moves, delta == full re-evaluation")
+    if failures:
+        print(f"SMOKE FAILED: {failures} case(s) diverged")
+        return 1
+    print("SMOKE PASSED: delta evaluation matches full re-evaluation bit-for-bit")
+    return 0
+
+
+def timings(num_tasks: int, moves: int, seed: int, record: bool) -> int:
+    system = hypercube(4)
+    clustered, system = build_instance(num_tasks, system, seed)
+    n = system.num_nodes
+    gen = np.random.default_rng(seed)
+    stream = [
+        tuple(int(x) for x in gen.choice(n, size=2, replace=False))
+        for _ in range(moves)
+    ]
+    start_assignment = Assignment.random(n, rng=seed)
+
+    # Old inner loop: full re-evaluation per candidate, hill-climbing.
+    current = start_assignment
+    current_time = total_time(clustered, system, current)
+    t0 = time.perf_counter()
+    full_trace = []
+    for a, b in stream:
+        candidate = current.swapped(a, b)
+        t = total_time(clustered, system, candidate)
+        full_trace.append(t)
+        if t < current_time:
+            current, current_time = candidate, t
+    full_elapsed = time.perf_counter() - t0
+
+    # New inner loop: delta probe per candidate, commit improvements.
+    ev = DeltaEvaluator(clustered, system, start_assignment)
+    current_time = ev.total_time
+    t0 = time.perf_counter()
+    delta_trace = []
+    for a, b in stream:
+        t = ev.probe_swap(a, b)
+        delta_trace.append(t)
+        if t < current_time:
+            current_time = ev.swap(a, b)
+    delta_elapsed = time.perf_counter() - t0
+
+    if full_trace != delta_trace:
+        print("FAIL: delta and full evaluation visited different makespans")
+        return 1
+
+    # Genetic-style full evaluations: comm-matrix path vs the evaluator's
+    # O(V+E) rebase fast path.
+    candidates = [Assignment.random(n, rng=int(s)) for s in gen.integers(0, 2**31, 20)]
+    t0 = time.perf_counter()
+    matrix_times = [total_time(clustered, system, a) for a in candidates]
+    matrix_elapsed = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    rebase_times = [ev.evaluate(a) for a in candidates]
+    rebase_elapsed = time.perf_counter() - t0
+    if matrix_times != rebase_times:
+        print("FAIL: rebase fast path disagrees with the comm-matrix path")
+        return 1
+
+    speedup = full_elapsed / delta_elapsed if delta_elapsed else float("inf")
+    rebase_speedup = matrix_elapsed / rebase_elapsed if rebase_elapsed else float("inf")
+    lines = [
+        "Delta-evaluation fast path (benchmarks/bench_delta.py)",
+        f"instance: {clustered.graph!r} on {system!r}",
+        f"swap moves timed: {moves} (annealing/tabu-style hill climb)",
+        f"full re-evaluation : {1e6 * full_elapsed / moves:9.1f} us/move",
+        f"delta probe        : {1e6 * delta_elapsed / moves:9.1f} us/move",
+        f"per-move speedup   : {speedup:9.1f}x",
+        f"full evals (comm matrix)   : {1e6 * matrix_elapsed / 20:9.1f} us/eval",
+        f"full evals (rebase path)   : {1e6 * rebase_elapsed / 20:9.1f} us/eval",
+        f"rebase speedup             : {rebase_speedup:9.1f}x",
+        "traces identical: True",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    if record:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(report + "\n")
+        print(f"[recorded -> {RESULTS_PATH}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=1000, help="DAG size")
+    parser.add_argument("--moves", type=int, default=300, help="swap moves to time")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="correctness cross-check only (CI guard); exits 1 on mismatch",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true", help="do not write the results file"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke(args.seed)
+    return timings(args.tasks, args.moves, args.seed, record=not args.no_record)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

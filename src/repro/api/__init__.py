@@ -24,7 +24,7 @@ Layers:
 """
 
 from . import adapters as _adapters  # noqa: F401 - imported for registration
-from .batch import ProblemInstance, compare, derive_seed, solve_many
+from .batch import ProblemInstance, compare, derive_seed, params_tag, solve_many
 from .facade import format_comparison, solve, solve_instance
 from .outcome import MapOutcome
 from .registry import (
@@ -45,6 +45,7 @@ __all__ = [
     "available_mappers",
     "compare",
     "derive_seed",
+    "params_tag",
     "format_comparison",
     "get_mapper",
     "register_mapper",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 import zlib
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -30,7 +30,7 @@ from ..utils import MappingError
 from .outcome import MapOutcome
 from .registry import Mapper, get_mapper
 
-__all__ = ["ProblemInstance", "compare", "derive_seed", "solve_many"]
+__all__ = ["ProblemInstance", "compare", "derive_seed", "params_tag", "solve_many"]
 
 
 @dataclass(frozen=True)
@@ -49,16 +49,33 @@ class ProblemInstance:
             )
 
 
-def derive_seed(base_seed: int, index: int, mapper: str) -> int:
+def derive_seed(
+    base_seed: int, index: int, mapper: str, params_tag: int = 0
+) -> int:
     """Deterministic per-work-item seed.
 
-    Mixes the batch's base seed, the instance index, and the mapper name
-    through a :class:`numpy.random.SeedSequence`, giving statistically
-    independent streams that do not depend on execution order.
+    Mixes the batch's base seed, the work-item index, the mapper name,
+    and (when non-zero) a fingerprint of the mapper's constructor
+    parameters through a :class:`numpy.random.SeedSequence`, giving
+    statistically independent streams that do not depend on execution
+    order.  Work items are therefore keyed by (mapper, params, instance):
+    the same mapper name under different parameters — or the same
+    configuration at a different batch slot — draws a different stream.
     """
     tag = zlib.crc32(mapper.encode("utf-8"))
-    ss = np.random.SeedSequence([int(base_seed), int(index), tag])
+    entropy = [int(base_seed), int(index), tag]
+    if params_tag:
+        entropy.append(int(params_tag))
+    ss = np.random.SeedSequence(entropy)
     return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
+def params_tag(params: Mapping[str, object]) -> int:
+    """Stable non-zero fingerprint of mapper parameters (0 for none)."""
+    if not params:
+        return 0
+    blob = repr(sorted(params.items())).encode("utf-8")
+    return zlib.crc32(blob) or 1
 
 
 @dataclass(frozen=True)
@@ -130,13 +147,14 @@ def solve_many(
     else:
         built = mapper
     base = _resolve_base_seed(seed)
+    tag = params_tag(params)
     normalized = [_as_instance(obj, i) for i, obj in enumerate(instances)]
     items = [
         _WorkItem(
             index=i,
             instance=inst,
             mapper=built,
-            seed=derive_seed(base, i, built.name),
+            seed=derive_seed(base, i, built.name, tag),
         )
         for i, inst in enumerate(normalized)
     ]
@@ -146,34 +164,45 @@ def solve_many(
 def compare(
     clustered: ClusteredGraph,
     system: SystemGraph,
-    mappers: Sequence[str] | None = None,
+    mappers: Sequence[str | tuple[str, dict[str, object]]] | None = None,
     *,
     seed: int | None = 0,
     max_workers: int | None = 1,
     mapper_params: dict[str, dict[str, object]] | None = None,
 ) -> list[MapOutcome]:
-    """Score several mappers head-to-head on one instance.
+    """Score several mapper configurations head-to-head on one instance.
 
-    ``mappers`` defaults to every registered mapper (sorted by name);
-    ``mapper_params`` optionally supplies per-mapper constructor keyword
-    arguments, e.g. ``{"random": {"samples": 50}}``.  Returns one
-    :class:`MapOutcome` per mapper, in the order requested.
+    ``mappers`` defaults to every registered mapper (sorted by name).
+    Each entry is either a registry name or a ``(name, params)`` pair, so
+    the *same* mapper can appear several times under different parameters
+    — every entry stays a distinct work item (nothing is deduplicated)
+    and gets its own seed derived from (slot, name, params) via
+    :func:`derive_seed`.  ``mapper_params`` supplies per-name defaults,
+    e.g. ``{"random": {"samples": 50}}``; an entry's own params override
+    them key by key.  Returns one :class:`MapOutcome` per entry, in the
+    order requested.
     """
     from .registry import available_mappers
 
-    names = list(mappers) if mappers is not None else available_mappers()
+    specs = list(mappers) if mappers is not None else available_mappers()
     base = _resolve_base_seed(seed)
     instance = ProblemInstance(clustered, system, name="compare")
     mapper_params = mapper_params or {}
-    items = [
-        _WorkItem(
-            index=0,
-            instance=instance,
-            mapper=get_mapper(name, **mapper_params.get(name, {})),
-            seed=derive_seed(base, 0, name),
+    items = []
+    for slot, spec in enumerate(specs):
+        if isinstance(spec, str):
+            name, own = spec, {}
+        else:
+            name, own = spec
+        merged = {**mapper_params.get(name, {}), **dict(own)}
+        items.append(
+            _WorkItem(
+                index=slot,
+                instance=instance,
+                mapper=get_mapper(name, **merged),
+                seed=derive_seed(base, slot, name, params_tag(merged)),
+            )
         )
-        for name in names
-    ]
     return _run_items(items, max_workers)
 
 

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..core.assignment import Assignment
 from ..core.clustered import ClusteredGraph
-from ..core.evaluate import total_time
+from ..core.incremental import DeltaEvaluator
 from ..topology.base import SystemGraph
 from ..utils import as_rng
 
@@ -74,7 +74,11 @@ def anneal_mapping(
     gen = as_rng(rng)
     n = system.num_nodes
     current = initial if initial is not None else Assignment.random(n, rng=gen)
-    current_time = total_time(clustered, system, current)
+    # The inner loop runs on the delta evaluator: probe the candidate swap
+    # in O(affected region) and commit only on acceptance, instead of a
+    # full O(V^2) re-evaluation per proposal.
+    evaluator = DeltaEvaluator(clustered, system, current)
+    current_time = evaluator.total_time
     best, best_time = current, current_time
     evaluations = 1
 
@@ -94,18 +98,18 @@ def anneal_mapping(
         accepted_any = False
         for _ in range(moves):
             a, b = gen.choice(n, size=2, replace=False)
-            candidate = current.swapped(int(a), int(b))
-            t = total_time(clustered, system, candidate)
+            t = evaluator.probe_swap(int(a), int(b))
             evaluations += 1
             delta = t - current_time
             accept = delta <= 0 if quench else (
                 delta <= 0 or gen.random() < math.exp(-delta / temp)
             )
             if accept:
-                current, current_time = candidate, t
+                evaluator.swap(int(a), int(b))
+                current_time = t
                 accepted_any = True
                 if current_time < best_time:
-                    best, best_time = current, current_time
+                    best, best_time = evaluator.assignment, current_time
                     if lower_bound is not None and best_time <= lower_bound:
                         return AnnealResult(best, best_time, evaluations, True)
         temp *= cooling

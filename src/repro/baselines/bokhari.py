@@ -28,6 +28,7 @@ import numpy as np
 from ..core.abstract import AbstractGraph
 from ..core.assignment import Assignment
 from ..core.clustered import ClusteredGraph
+from ..core.incremental import CardinalityDelta
 from ..topology.base import SystemGraph
 from ..utils import as_rng
 
@@ -80,22 +81,25 @@ def bokhari_mapping(
     evaluations = 0
 
     for _ in range(max(1, restarts)):
-        current = Assignment.random(n, rng=gen)
-        current_card = cardinality(abstract, system, current, weighted)
+        # Each candidate exchange is scored by its O(deg) cardinality
+        # delta instead of the O(n^2) full recount.
+        evaluator = CardinalityDelta(
+            abstract, system, Assignment.random(n, rng=gen), weighted=weighted
+        )
+        current_card = evaluator.cardinality
         evaluations += 1
         for _ in range(max_passes):
             improved = False
             for a in range(n - 1):
                 for b in range(a + 1, n):
-                    candidate = current.swapped(a, b)
-                    card = cardinality(abstract, system, candidate, weighted)
+                    card = current_card + evaluator.delta_swap(a, b)
                     evaluations += 1
                     if card > current_card:
-                        current, current_card = candidate, card
+                        current_card = evaluator.swap(a, b)
                         improved = True
             if not improved:
                 break
         if current_card > best_card:
-            best, best_card = current, current_card
+            best, best_card = evaluator.assignment, current_card
     assert best is not None
     return BokhariResult(assignment=best, cardinality=best_card, evaluations=evaluations)

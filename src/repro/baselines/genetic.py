@@ -25,7 +25,7 @@ import numpy as np
 
 from ..core.assignment import Assignment
 from ..core.clustered import ClusteredGraph
-from ..core.evaluate import total_time
+from ..core.incremental import DeltaEvaluator
 from ..topology.base import SystemGraph
 from ..utils import as_rng
 
@@ -83,9 +83,13 @@ def genetic_mapping(
     gen = as_rng(rng)
     n = system.num_nodes
 
+    # Individuals change too much per generation for local repair, but the
+    # delta evaluator's full-evaluation fast path still skips the O(V^2)
+    # communication matrix on every fitness call.
+    evaluator = DeltaEvaluator(clustered, system, Assignment.identity(n))
     pop = [gen.permutation(n) for _ in range(population)]
     fitness = np.array(
-        [total_time(clustered, system, Assignment(p)) for p in pop], dtype=np.int64
+        [evaluator.evaluate(Assignment(p)) for p in pop], dtype=np.int64
     )
     evaluations = population
     best_idx = int(fitness.argmin())
@@ -114,7 +118,7 @@ def genetic_mapping(
             next_pop.append(child)
         pop = next_pop
         fitness = np.array(
-            [total_time(clustered, system, Assignment(p)) for p in pop],
+            [evaluator.evaluate(Assignment(p)) for p in pop],
             dtype=np.int64,
         )
         evaluations += population

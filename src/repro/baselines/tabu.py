@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.assignment import Assignment
 from ..core.clustered import ClusteredGraph
-from ..core.evaluate import total_time
+from ..core.incremental import DeltaEvaluator
 from ..topology.base import SystemGraph
 from ..utils import as_rng
 
@@ -52,7 +52,11 @@ def tabu_mapping(
     gen = as_rng(rng)
     n = system.num_nodes
     current = initial if initial is not None else Assignment.random(n, rng=gen)
-    current_time = total_time(clustered, system, current)
+    # Best-improvement scans probe every pair swap; the delta evaluator
+    # answers each probe from the repaired region instead of a full
+    # re-evaluation, and only the chosen move is committed.
+    evaluator = DeltaEvaluator(clustered, system, current)
+    current_time = evaluator.total_time
     best, best_time = current, current_time
     evaluations = 1
     if tenure is None:
@@ -66,26 +70,24 @@ def tabu_mapping(
             break
         move_best: tuple[int, int] | None = None
         move_time = None
-        move_assignment = None
         for a in range(n - 1):
             for b in range(a + 1, n):
-                candidate = current.swapped(a, b)
-                t = total_time(clustered, system, candidate)
+                t = evaluator.probe_swap(a, b)
                 evaluations += 1
                 tabu = tabu_until[a, b] >= it
                 aspirated = t < best_time
                 if tabu and not aspirated:
                     continue
                 if move_time is None or t < move_time:
-                    move_best, move_time, move_assignment = (a, b), t, candidate
-        if move_assignment is None:  # everything tabu and nothing aspirates
+                    move_best, move_time = (a, b), t
+        if move_best is None:  # everything tabu and nothing aspirates
             tabu_until[:] = 0
             continue
-        a, b = move_best  # type: ignore[misc]
+        a, b = move_best
         tabu_until[a, b] = tabu_until[b, a] = it + tenure
-        current, current_time = move_assignment, int(move_time)  # type: ignore[arg-type]
+        current_time = evaluator.swap(a, b)
         if current_time < best_time:
-            best, best_time = current, current_time
+            best, best_time = evaluator.assignment, current_time
 
     return TabuResult(
         assignment=best,

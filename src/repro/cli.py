@@ -73,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["random", "band", "load", "linear", "edgezero", "dsc"],
             help="clustering algorithm for the np -> na step",
         )
+        p.add_argument(
+            "--input",
+            default=None,
+            metavar="FILE",
+            help="load the instance from a JSON file (see repro.io.save_instance) "
+            "instead of generating a random one; --tasks/--topology/--size are "
+            "then ignored",
+        )
 
     p = sub.add_parser("map", help="map one random workload and print the report")
     add_instance_args(p)
@@ -220,8 +228,19 @@ def _run_sensitivity(seed: int) -> None:
     print(format_sweep(sweep_problem_size(rng=seed), "Problem size np"))
 
 
+def _cli_error(command: str, message: str) -> "SystemExit":
+    """One-line diagnostic on stderr and exit code 2 (usage/input error)."""
+    print(f"mimdmap {command}: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def _build_instance(args: argparse.Namespace):
-    """One random (clustered graph, system) instance from the CLI knobs."""
+    """One (clustered graph, system) instance from the CLI knobs or a file.
+
+    Bad input — an unreadable/invalid ``--input`` file or out-of-range
+    ``--tasks``/``--size`` — exits with code 2 and a one-line message
+    instead of a traceback.
+    """
     from .clustering import (
         BandClusterer,
         DscClusterer,
@@ -232,6 +251,7 @@ def _build_instance(args: argparse.Namespace):
     )
     from .core import ClusteredGraph
     from .topology import by_name
+    from .utils import GraphError, MappingError
     from .workloads import layered_random_dag
 
     clusterers = {
@@ -242,12 +262,45 @@ def _build_instance(args: argparse.Namespace):
         "edgezero": EdgeZeroClusterer,
         "dsc": DscClusterer,
     }
-    system = by_name(args.topology, args.size, rng=args.seed)
-    graph = layered_random_dag(num_tasks=args.tasks, rng=args.seed)
-    clustering = clusterers[args.clusterer](system.num_nodes).cluster(
-        graph, rng=args.seed
-    )
-    return ClusteredGraph(graph, clustering), system
+    command: str = args.command
+    try:
+        if args.input is not None:
+            graph, system, clustering, _ = _load_input(command, args.input)
+        else:
+            if args.tasks < 1:
+                raise _cli_error(command, f"--tasks must be >= 1, got {args.tasks}")
+            if args.size < 1:
+                raise _cli_error(
+                    command, f"--size (processor count) must be >= 1, got {args.size}"
+                )
+            system = by_name(args.topology, args.size, rng=args.seed)
+            graph = layered_random_dag(num_tasks=args.tasks, rng=args.seed)
+            clustering = None
+        if clustering is None:
+            clustering = clusterers[args.clusterer](system.num_nodes).cluster(
+                graph, rng=args.seed
+            )
+        return ClusteredGraph(graph, clustering), system
+    except (GraphError, MappingError) as exc:
+        raise _cli_error(command, str(exc)) from None
+
+
+def _load_input(command: str, path: str):
+    """Load an instance file, converting every failure to a clean exit 2."""
+    import json
+
+    from .io import load_instance
+
+    try:
+        return load_instance(path)
+    except OSError as exc:
+        raise _cli_error(
+            command, f"cannot read input file {path!r}: {exc.strerror or exc}"
+        ) from None
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise _cli_error(
+            command, f"input file {path!r} is not a valid instance: {exc}"
+        ) from None
 
 
 def _run_map(args: argparse.Namespace) -> None:
@@ -281,22 +334,24 @@ def _run_compare(args: argparse.Namespace) -> None:
     from .api import available_mappers, compare, format_comparison
 
     if args.workers < 1:
-        raise SystemExit(f"mimdmap compare: error: --workers must be >= 1, got {args.workers}")
+        raise _cli_error("compare", f"--workers must be >= 1, got {args.workers}")
     mappers = None
     if args.mappers is not None:
         names = [name.strip() for name in args.mappers.split(",") if name.strip()]
         seen: set[str] = set()
         mappers = [m for m in names if not (m in seen or seen.add(m))]
         if not mappers:
-            raise SystemExit(
-                "mimdmap compare: error: --mappers needs at least one mapper name "
-                f"(choose from {', '.join(available_mappers())})"
+            raise _cli_error(
+                "compare",
+                "--mappers needs at least one mapper name "
+                f"(choose from {', '.join(available_mappers())})",
             )
         unknown = sorted(set(mappers) - set(available_mappers()))
         if unknown:
-            raise SystemExit(
-                f"mimdmap compare: error: unknown mapper(s) {', '.join(unknown)} "
-                f"(choose from {', '.join(available_mappers())})"
+            raise _cli_error(
+                "compare",
+                f"unknown mapper(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(available_mappers())})",
             )
     clustered, system = _build_instance(args)
     outcomes = compare(

@@ -11,7 +11,7 @@ from .clustered import ClusteredGraph, Clustering
 from .critical import CriticalityAnalysis, analyze_criticality
 from .evaluate import Schedule, evaluate_assignment, total_time
 from .ideal import IdealSchedule, ideal_schedule, lower_bound
-from .incremental import IncrementalEvaluator
+from .incremental import CardinalityDelta, DeltaEvaluator, IncrementalEvaluator
 from .listsched import ListSchedule, bottom_levels, list_schedule
 from .initial import initial_assignment
 from .mapper import CriticalEdgeMapper, MappingResult, map_graph
@@ -30,8 +30,10 @@ __all__ = [
     "Assignment",
     "ClusteredGraph",
     "Clustering",
+    "CardinalityDelta",
     "CriticalEdgeMapper",
     "CriticalityAnalysis",
+    "DeltaEvaluator",
     "Edge",
     "IdealSchedule",
     "IncrementalEvaluator",

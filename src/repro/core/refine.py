@@ -25,7 +25,7 @@ from ..utils import as_rng
 from .assignment import Assignment
 from .clustered import ClusteredGraph
 from .critical import CriticalityAnalysis
-from .evaluate import total_time
+from .incremental import DeltaEvaluator
 
 __all__ = [
     "RefinementResult",
@@ -104,8 +104,11 @@ def refine_random(
     bound = analysis.ideal.total_time
     trials_allowed = system.num_nodes if max_trials is None else max_trials
 
+    # Re-placements move many clusters at once, so each trial uses the
+    # delta evaluator's full-evaluation fast path (no O(V^2) comm matrix).
+    evaluator = DeltaEvaluator(clustered, system, initial)
     best = initial
-    best_time = total_time(clustered, system, initial)
+    best_time = evaluator.total_time
     initial_time = best_time
     if best_time == bound:  # step 3: initial assignment already optimal
         return RefinementResult(best, best_time, bound, True, 0, False)
@@ -124,7 +127,7 @@ def refine_random(
             candidate = best.with_placement_updates(
                 {int(c): int(p) for c, p in zip(movable, pool[perm])}
             )
-            t = total_time(clustered, system, candidate)
+            t = evaluator.evaluate(candidate)
             if t == bound:  # step 4-c: provably optimal, stop
                 return RefinementResult(candidate, t, bound, True, trials, True)
             if t < best_time:  # step 4-d
@@ -152,8 +155,12 @@ def refine_pairwise(
     bound = analysis.ideal.total_time
     trials_allowed = system.num_nodes if max_trials is None else max_trials
 
+    # Each trial swaps a pair within the current best assignment, so the
+    # delta evaluator probes in O(affected region) and commits only
+    # improvements — its state always mirrors ``best``.
+    evaluator = DeltaEvaluator(clustered, system, initial)
     best = initial
-    best_time = total_time(clustered, system, initial)
+    best_time = evaluator.total_time
     initial_time = best_time
     if best_time == bound:
         return RefinementResult(best, best_time, bound, True, 0, False)
@@ -165,12 +172,15 @@ def refine_pairwise(
     if movable.size >= 2:
         for trials in range(1, trials_allowed + 1):
             a, b = gen.choice(movable, size=2, replace=False)
-            candidate = best.swapped(int(a), int(b))
-            t = total_time(clustered, system, candidate)
+            t = evaluator.probe_swap(int(a), int(b))
             if t == bound:
-                return RefinementResult(candidate, t, bound, True, trials, True)
+                evaluator.swap(int(a), int(b))
+                return RefinementResult(
+                    evaluator.assignment, t, bound, True, trials, True
+                )
             if t < best_time:
-                best, best_time = candidate, t
+                evaluator.swap(int(a), int(b))
+                best, best_time = evaluator.assignment, t
     return RefinementResult(
         best, best_time, bound, best_time == bound, trials, best_time < initial_time
     )

@@ -14,8 +14,8 @@ indices here are 0-based and the I/O layer preserves that convention).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Mapping, Sequence
-from dataclasses import dataclass, field
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -84,8 +84,16 @@ class TaskGraph:
             for src, dst, weight in edges:  # type: ignore[misc]
                 if not (0 <= src < n and 0 <= dst < n):
                     raise GraphError(f"edge ({src}, {dst}) references a missing task")
+                if src == dst:
+                    raise GraphError(
+                        f"self-loop edges are not allowed (task {src})"
+                    )
                 if weight <= 0:
-                    raise GraphError(f"edge ({src}, {dst}) must have positive weight")
+                    raise GraphError(
+                        f"edge ({src}, {dst}) must have positive weight, got "
+                        f"{weight}; a zero-weight edge cannot be represented — "
+                        "omit it (a zero matrix entry means 'no edge')"
+                    )
                 mat[src, dst] = int(weight)
         if np.diagonal(mat).any():
             raise GraphError("self-loop edges are not allowed")

@@ -123,3 +123,73 @@ class TestCommands:
         args = build_parser().parse_args(["sensitivity", "--seed", "2"])
         assert args.command == "sensitivity"
         assert args.seed == 2
+
+
+class TestErrorPaths:
+    """Bad input exits with code 2 and a one-line message, never a traceback."""
+
+    def _expect_exit2(self, argv, capsys, fragment):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert fragment in err
+        assert err.strip().count("\n") == 0  # a single diagnostic line
+        assert err.startswith(f"mimdmap {argv[0]}: error:")
+
+    def test_map_missing_input_file(self, capsys):
+        self._expect_exit2(
+            ["map", "--input", "/no/such/file.json"], capsys, "cannot read input file"
+        )
+
+    def test_map_unreadable_input_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("this is not json")
+        self._expect_exit2(
+            ["map", "--input", str(bad)], capsys, "not a valid instance"
+        )
+
+    def test_map_wrong_kind_input_file(self, capsys, tmp_path):
+        bad = tmp_path / "graph-only.json"
+        bad.write_text('{"version": 1, "kind": "task_graph"}')
+        self._expect_exit2(
+            ["map", "--input", str(bad)], capsys, "not a valid instance"
+        )
+
+    @pytest.mark.parametrize("size", ["0", "-4"])
+    def test_map_out_of_range_processor_count(self, capsys, size):
+        self._expect_exit2(["map", "--size", size], capsys, "must be >= 1")
+
+    @pytest.mark.parametrize("size", ["0", "-1"])
+    def test_compare_out_of_range_processor_count(self, capsys, size):
+        self._expect_exit2(["compare", "--size", size], capsys, "must be >= 1")
+
+    def test_map_out_of_range_tasks(self, capsys):
+        self._expect_exit2(["map", "--tasks", "0"], capsys, "--tasks")
+
+    def test_map_invalid_topology_size(self, capsys):
+        self._expect_exit2(
+            ["map", "--topology", "hypercube", "--size", "7"],
+            capsys,
+            "power of two",
+        )
+
+    def test_compare_unknown_mapper_exits_2(self, capsys):
+        self._expect_exit2(
+            ["compare", "--mappers", "magic"], capsys, "unknown mapper"
+        )
+
+    def test_compare_bad_workers_exits_2(self, capsys):
+        self._expect_exit2(["compare", "--workers", "0"], capsys, "--workers")
+
+    def test_map_from_instance_file(self, capsys, tmp_path):
+        from repro.io import save_instance
+        from repro.topology import ring
+        from repro.workloads import layered_random_dag
+
+        path = tmp_path / "instance.json"
+        save_instance(path, layered_random_dag(num_tasks=20, rng=0), ring(4))
+        assert main(["map", "--input", str(path), "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ring-4" in out
+        assert "lower bound:" in out

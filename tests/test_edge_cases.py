@@ -15,6 +15,7 @@ from repro.core import (
     ClusteredGraph,
     Clustering,
     CriticalEdgeMapper,
+    DeltaEvaluator,
     IncrementalEvaluator,
     TaskGraph,
     analyze_criticality,
@@ -23,7 +24,9 @@ from repro.core import (
     list_schedule,
     lower_bound,
     total_time,
+    verify_schedule,
 )
+from repro.utils import GraphError, MappingError
 from repro.core.refine import refine_random
 from repro.sim import SimConfig, simulate
 from repro.topology import SystemGraph, chain, complete, ring
@@ -85,6 +88,64 @@ class TestDegenerateInstances:
         result = CriticalEdgeMapper(rng=0).map(cg, system)
         assert result.total_time == 1 + 5 + 1
         assert result.is_provably_optimal
+
+
+class TestDegenerateGraphValidation:
+    """Degenerate task graphs must fail loudly with typed errors — or
+    evaluate correctly — never crash with a raw numpy traceback."""
+
+    def test_empty_task_list_rejected(self):
+        with pytest.raises(GraphError, match="at least one task"):
+            TaskGraph([])
+
+    def test_self_loop_triple_rejected_regardless_of_weight(self):
+        # Regression: a zero-weight self-loop used to report the
+        # misleading "must have positive weight" instead of "self-loop".
+        with pytest.raises(GraphError, match="self-loop"):
+            TaskGraph([1, 1], [(0, 0, 2)])
+        with pytest.raises(GraphError, match="self-loop"):
+            TaskGraph([1, 1], [(0, 0, 0)])
+
+    def test_zero_weight_edge_triple_rejected_with_guidance(self):
+        with pytest.raises(GraphError, match="zero"):
+            TaskGraph([1, 1], [(0, 1, 0)])
+
+    def test_zero_matrix_entries_mean_no_edge(self):
+        # The matrix form's explicit convention: 0 == absent, and the
+        # edgeless graph scores as pure independent work everywhere.
+        g = TaskGraph([2, 5], np.zeros((2, 2), dtype=int))
+        assert g.num_edges == 0
+        cg = ClusteredGraph(g, Clustering([0, 1]))
+        system = chain(2)
+        a = Assignment.identity(2)
+        assert total_time(cg, system, a) == 5
+        verify_schedule(evaluate_assignment(cg, system, a))
+        assert DeltaEvaluator(cg, system, a).total_time == 5
+
+    def test_single_task_through_delta_evaluator(self):
+        g = TaskGraph([4])
+        cg = ClusteredGraph(g, Clustering([0]))
+        ev = DeltaEvaluator(cg, _one_node_system(), Assignment.identity(1))
+        assert ev.total_time == 4
+        assert ev.comm_volume == 0
+        assert ev.loads().tolist() == [4]
+        assert ev.probe_swap(0, 0) == 4
+        assert ev.verify()
+
+    def test_mismatched_assignment_raises_mapping_error(self):
+        # Regression: IncrementalEvaluator used to crash with IndexError.
+        g = TaskGraph([1, 1, 1], [(0, 1, 2), (1, 2, 2)])
+        cg = ClusteredGraph(g, Clustering([0, 1, 2]))
+        with pytest.raises(MappingError, match="assignment covers"):
+            IncrementalEvaluator(cg, chain(3), Assignment.identity(2))
+
+    def test_cluster_count_must_match_system(self):
+        g = TaskGraph([1, 1, 1], [(0, 1, 2), (1, 2, 2)])
+        cg = ClusteredGraph(g, Clustering([0, 1, 2]))
+        with pytest.raises(MappingError, match="na must equal ns"):
+            DeltaEvaluator(cg, chain(2), Assignment.identity(2))
+        with pytest.raises(MappingError, match="na must equal ns"):
+            total_time(cg, chain(2), Assignment.identity(2))
 
 
 class TestRefinementBoundaries:
