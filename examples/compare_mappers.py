@@ -8,6 +8,10 @@ derived-seed scheme guarantees the parallel run reproduces the serial
 one bit for bit.
 
 Run:  python examples/compare_mappers.py
+
+For the declarative way to run this kind of study — a ``Scenario.grid``
+spec with streamed, resumable JSONL results — see
+``examples/sweep_paper_grid.py``.
 """
 
 from repro.api import (

@@ -23,8 +23,13 @@ README.md for the full tour and the ``mimdmap`` CLI.
 
 from .api import (
     MapOutcome,
+    Scenario,
+    available_clusterers,
     available_mappers,
+    available_topologies,
+    available_workloads,
     compare,
+    run_scenarios,
     solve,
     solve_many,
 )
@@ -60,13 +65,18 @@ __all__ = [
     "IdealSchedule",
     "MapOutcome",
     "MappingResult",
+    "Scenario",
     "Schedule",
     "SystemGraph",
     "TaskGraph",
     "__version__",
     "analyze_criticality",
+    "available_clusterers",
     "available_mappers",
+    "available_topologies",
+    "available_workloads",
     "compare",
+    "run_scenarios",
     "evaluate_assignment",
     "ideal_schedule",
     "lower_bound",

@@ -1,55 +1,153 @@
-"""Unified mapper API: one protocol, one result type, one registry.
+"""Unified experiment API: four registries, one scenario spec, one sweep engine.
 
-Every mapping algorithm in the repo — the paper's critical-edge strategy
-and all seven baselines — is reachable by name through this package::
+Every axis of a mapping experiment is addressable by name through a
+:class:`~repro.api.registry.Registry`:
 
-    from repro.api import solve, compare, available_mappers
+* **mappers** — the paper's critical-edge strategy and all seven
+  baselines (``available_mappers()``: ``critical``, ``random``,
+  ``bokhari``, ``lee``, ``annealing``, ``quenching``, ``genetic``,
+  ``tabu``);
+* **clusterers** — the np -> na partitioning stage
+  (``available_clusterers()``: ``random``, ``band``, ``block``,
+  ``round_robin``, ``load_balance``, ``linear``, ``edge_zero``, ``dsc``);
+* **workloads** — task-graph generators (``available_workloads()``:
+  ``layered_random``, ``gnp``, ``fft``, ``cholesky``, ``lu``, ...);
+* **topologies** — system-graph families parsed from ``family:args``
+  specs like ``"hypercube:3"`` or ``"torus2d:4x4"``
+  (``available_topologies()``).
 
+One mapper on one instance::
+
+    from repro.api import solve
     outcome = solve(graph, clustering, system, mapper="critical", rng=7)
-    print(outcome.total_time, outcome.lower_bound, outcome.is_provably_optimal)
 
-    head_to_head = compare(clustered, system, seed=7, max_workers=4)
+A whole experiment grid, declaratively::
+
+    from repro.api import Scenario, run_scenarios, format_sweep
+    scenarios = Scenario.grid(
+        workload=[{"name": "fft", "params": {"points_log2": 4}}, "cholesky"],
+        clustering=["random", "dsc"],
+        topology=["hypercube:3", "mesh2d:3x3"],
+        mapper=["critical", "tabu"],
+        seed=7, replicas=2,
+    )
+    result = run_scenarios(scenarios, out="results.jsonl", max_workers=4)
+    print(format_sweep(result.records))
 
 Layers:
 
 * :mod:`~repro.api.outcome` — the frozen :class:`MapOutcome` every mapper
   returns;
-* :mod:`~repro.api.registry` — the :class:`Mapper` protocol and the
-  ``name -> factory`` registry;
-* :mod:`~repro.api.adapters` — the built-in registrations wrapping the
-  existing mapper functions (which keep working unchanged);
+* :mod:`~repro.api.registry` — the generic :class:`Registry` plus the
+  :class:`Mapper` protocol and the mapper registry;
+* :mod:`~repro.api.components` — the clusterer / workload / topology
+  registries and the ``family:args`` topology-spec grammar;
+* :mod:`~repro.api.adapters` — the built-in mapper registrations (the
+  wrapped functions keep working unchanged);
 * :mod:`~repro.api.facade` — ``solve()`` / ``solve_instance()``;
 * :mod:`~repro.api.batch` — ``solve_many()`` / ``compare()`` with
-  process parallelism and per-item seed derivation.
+  process parallelism and per-item seed derivation;
+* :mod:`~repro.api.scenario` — the declarative :class:`Scenario` spec,
+  dict/JSON round-tripping, and grid expansion;
+* :mod:`~repro.api.sweep` — ``run_scenarios()``: resumable JSONL
+  streaming on the shared process-pool engine, plus the paper-style
+  aggregation.
 """
 
 from . import adapters as _adapters  # noqa: F401 - imported for registration
-from .batch import ProblemInstance, compare, derive_seed, params_tag, solve_many
+from .batch import (
+    ProblemInstance,
+    compare,
+    derive_seed,
+    iter_item_outcomes,
+    params_tag,
+    solve_many,
+)
+from .components import (
+    CLUSTERERS,
+    TOPOLOGIES,
+    WORKLOADS,
+    available_clusterers,
+    available_topologies,
+    available_workloads,
+    build_topology,
+    build_workload,
+    get_clusterer,
+    get_workload,
+    parse_topology_spec,
+    register_clusterer,
+    register_topology,
+    register_workload,
+)
 from .facade import format_comparison, solve, solve_instance
 from .outcome import MapOutcome
 from .registry import (
+    MAPPERS,
+    DuplicateComponentError,
     DuplicateMapperError,
     Mapper,
+    Registry,
+    RegistryError,
+    UnknownComponentError,
     UnknownMapperError,
     available_mappers,
     get_mapper,
     register_mapper,
 )
+from .scenario import Scenario, ScenarioError, expand_spec, load_spec
+from .sweep import (
+    SweepResult,
+    derive_run_seeds,
+    format_sweep,
+    run_key,
+    run_scenarios,
+    summarize_sweep,
+)
 
 __all__ = [
+    "CLUSTERERS",
+    "DuplicateComponentError",
     "DuplicateMapperError",
+    "MAPPERS",
     "MapOutcome",
     "Mapper",
     "ProblemInstance",
+    "Registry",
+    "RegistryError",
+    "Scenario",
+    "ScenarioError",
+    "SweepResult",
+    "TOPOLOGIES",
+    "UnknownComponentError",
     "UnknownMapperError",
+    "WORKLOADS",
+    "available_clusterers",
     "available_mappers",
+    "available_topologies",
+    "available_workloads",
+    "build_topology",
+    "build_workload",
     "compare",
+    "derive_run_seeds",
     "derive_seed",
-    "params_tag",
+    "expand_spec",
     "format_comparison",
+    "format_sweep",
+    "get_clusterer",
     "get_mapper",
+    "get_workload",
+    "iter_item_outcomes",
+    "load_spec",
+    "params_tag",
+    "parse_topology_spec",
+    "register_clusterer",
     "register_mapper",
+    "register_topology",
+    "register_workload",
+    "run_key",
+    "run_scenarios",
     "solve",
     "solve_instance",
     "solve_many",
+    "summarize_sweep",
 ]

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import os
 import zlib
-from collections.abc import Iterable, Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +30,14 @@ from ..utils import MappingError
 from .outcome import MapOutcome
 from .registry import Mapper, get_mapper
 
-__all__ = ["ProblemInstance", "compare", "derive_seed", "params_tag", "solve_many"]
+__all__ = [
+    "ProblemInstance",
+    "compare",
+    "derive_seed",
+    "iter_item_outcomes",
+    "params_tag",
+    "solve_many",
+]
 
 
 @dataclass(frozen=True)
@@ -98,14 +105,42 @@ def _solve_item(item: _WorkItem) -> MapOutcome:
     return item.mapper.map(item.instance.clustered, item.instance.system, rng=item.seed)
 
 
-def _run_items(items: Sequence[_WorkItem], max_workers: int | None) -> list[MapOutcome]:
+def iter_item_outcomes(
+    items: Sequence, max_workers: int | None, solve: Callable = _solve_item
+) -> Iterator[tuple[object, MapOutcome]]:
+    """Yield ``(item, solve(item))`` pairs as work completes.
+
+    The serial path (``max_workers == 1`` or a single item) yields in
+    input order; the process-pool path yields in completion order, which
+    is what lets sweeps stream results to disk while slower instances
+    are still running.  Each item's outcome depends only on the item
+    itself, so completion order never changes any result.
+
+    ``solve`` defaults to running a prepared :class:`_WorkItem`; callers
+    with cheaper-to-ship work units (the scenario sweep sends specs and
+    builds instances worker-side) pass their own module-level function
+    (it must be picklable, like the items).
+    """
     if max_workers is not None and max_workers < 1:
         raise MappingError(f"max_workers must be >= 1, got {max_workers}")
     if max_workers == 1 or len(items) <= 1:
-        return [_solve_item(item) for item in items]
+        for item in items:
+            yield item, solve(item)
+        return
     workers = min(max_workers or os.cpu_count() or 1, len(items))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_solve_item, items))
+        futures = {pool.submit(solve, item): item for item in items}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+
+def _run_items(items: Sequence[_WorkItem], max_workers: int | None) -> list[MapOutcome]:
+    # Callers construct items with index == position, so completion order
+    # can be folded back into input order directly.
+    outcomes: list[MapOutcome | None] = [None] * len(items)
+    for item, outcome in iter_item_outcomes(items, max_workers):
+        outcomes[item.index] = outcome
+    return outcomes
 
 
 def solve_many(

@@ -71,9 +71,20 @@ def solve_instance(
 
 
 def format_comparison(outcomes: list[MapOutcome]) -> str:
-    """Render a ``compare()`` result as the paper-style normalized table."""
+    """Render a ``compare()`` result as the paper-style normalized table.
+
+    Raises :class:`ValueError` on an empty list.  The instance's lower
+    bound is shared by every outcome, so it is taken from the input
+    before the display sort rather than from the sorted list.
+    """
     from ..analysis.tables import render_table
 
+    if not outcomes:
+        raise ValueError(
+            "format_comparison needs at least one MapOutcome; "
+            "got an empty list"
+        )
+    bound = outcomes[0].lower_bound
     body = []
     for o in sorted(outcomes, key=lambda o: o.total_time):
         body.append(
@@ -86,7 +97,6 @@ def format_comparison(outcomes: list[MapOutcome]) -> str:
                 f"{o.wall_time:.3f}s",
             ]
         )
-    bound = outcomes[0].lower_bound if outcomes else 0
     return render_table(
         ["mapper", "total time", "% of bound", "optimal", "evals", "wall"],
         body,

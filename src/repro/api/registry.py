@@ -1,15 +1,22 @@
-"""Mapper protocol and the name -> mapper-factory registry.
+"""Generic named-component registries, and the mapper registry built on one.
 
-Every mapping algorithm in the repo is reachable through one uniform
-interface::
+Every axis of a mapping experiment — mappers, clusterers, workloads,
+topologies — is addressable by name through a :class:`Registry`::
 
     mapper = get_mapper("tabu", iterations=60)
     outcome = mapper.map(clustered, system, rng=7)
 
-Registration happens via the :func:`register_mapper` class decorator (see
-:mod:`repro.api.adapters` for the built-in registrations).  The registry
-is what lets the experiment runner, the CLI, and the batch engine accept
-a mapper *name* instead of hard-coding imports.
+All four registries share the same machinery and therefore the same
+name-validation rule and the same duplicate/unknown error messages; only
+the component *kind* differs.  The mapper registry lives here (the
+:class:`Mapper` protocol is its contract); the clusterer, workload, and
+topology registries live in :mod:`repro.api.components`.
+
+Registration happens via the :meth:`Registry.register` decorator (see
+:mod:`repro.api.adapters` for the built-in mapper registrations).  The
+registries are what let the experiment runner, the CLI, the batch engine,
+and the scenario sweep accept component *names* instead of hard-coding
+imports.
 """
 
 from __future__ import annotations
@@ -25,8 +32,13 @@ from .outcome import MapOutcome
 
 __all__ = [
     "Mapper",
+    "Registry",
+    "RegistryError",
+    "DuplicateComponentError",
+    "UnknownComponentError",
     "DuplicateMapperError",
     "UnknownMapperError",
+    "MAPPERS",
     "available_mappers",
     "get_mapper",
     "register_mapper",
@@ -53,15 +65,117 @@ class Mapper(Protocol):
     ) -> MapOutcome: ...
 
 
-class DuplicateMapperError(MappingError):
+class RegistryError(MappingError):
+    """Base class of every registry failure."""
+
+
+class DuplicateComponentError(RegistryError):
+    """A component name was registered twice in the same registry."""
+
+
+class UnknownComponentError(RegistryError):
+    """A component name is not in the registry it was looked up in."""
+
+
+class DuplicateMapperError(DuplicateComponentError):
     """A mapper name was registered twice."""
 
 
-class UnknownMapperError(MappingError):
+class UnknownMapperError(UnknownComponentError):
     """A mapper name is not in the registry."""
 
 
-_REGISTRY: dict[str, Callable[..., Mapper]] = {}
+class Registry:
+    """A ``name -> factory`` table for one axis of the experiment grid.
+
+    Parameters
+    ----------
+    kind:
+        Singular component kind used in messages, e.g. ``"mapper"``.
+    duplicate_error, unknown_error:
+        Exception classes raised on double registration / failed lookup
+        (must subclass the generic registry errors, so callers can catch
+        either the specific or the generic type).
+
+    Names must be lowercase identifiers (``[a-z0-9_]+``, starting
+    non-empty); the rule and its message are identical across all
+    registries.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        duplicate_error: type[DuplicateComponentError] = DuplicateComponentError,
+        unknown_error: type[UnknownComponentError] = UnknownComponentError,
+    ) -> None:
+        self.kind = kind
+        self._duplicate_error = duplicate_error
+        self._unknown_error = unknown_error
+        self._factories: dict[str, Callable] = {}
+
+    def validate_name(self, name: str) -> None:
+        """Reject anything but a lowercase identifier, uniformly."""
+        if not name or not name.islower() or not name.replace("_", "").isalnum():
+            raise RegistryError(
+                f"{self.kind} names must be lowercase identifiers, got {name!r}"
+            )
+
+    def register(self, name: str) -> Callable[[Callable], Callable]:
+        """Decorator registering a factory under ``name``.
+
+        Class factories gain a ``name`` attribute (the :class:`Mapper`
+        protocol requires one); plain functions are stored as-is.
+        """
+        self.validate_name(name)
+
+        def decorate(factory: Callable) -> Callable:
+            if name in self._factories:
+                raise self._duplicate_error(
+                    f"{self.kind} {name!r} is already registered "
+                    f"(by {self._factories[name].__qualname__})"
+                )
+            if isinstance(factory, type):
+                factory.name = name
+            self._factories[name] = factory
+            return factory
+
+        return decorate
+
+    def get(self, name: str, **params: object):
+        """Instantiate the component registered under ``name`` with ``params``."""
+        return self.factory(name)(**params)
+
+    def factory(self, name: str) -> Callable:
+        """The raw registered factory (no instantiation)."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise self._unknown_error(
+                f"unknown {self.kind} {name!r}; "
+                f"available: {', '.join(self.available())}"
+            ) from None
+
+    def available(self) -> list[str]:
+        """Sorted names of every registered component."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry(kind={self.kind!r}, names={self.available()})"
+
+
+#: The mapper axis: names -> mapper factories (see repro.api.adapters).
+MAPPERS = Registry(
+    "mapper",
+    duplicate_error=DuplicateMapperError,
+    unknown_error=UnknownMapperError,
+)
 
 
 def register_mapper(name: str) -> Callable[[type], type]:
@@ -70,35 +184,14 @@ def register_mapper(name: str) -> Callable[[type], type]:
     The decorated class gains a ``name`` attribute; instantiating it with
     keyword parameters must yield a :class:`Mapper`.
     """
-    if not name or not name.islower() or not name.replace("_", "").isalnum():
-        raise MappingError(
-            f"mapper names must be lowercase identifiers, got {name!r}"
-        )
-
-    def decorate(factory: type) -> type:
-        if name in _REGISTRY:
-            raise DuplicateMapperError(
-                f"mapper {name!r} is already registered "
-                f"(by {_REGISTRY[name].__qualname__})"
-            )
-        factory.name = name
-        _REGISTRY[name] = factory
-        return factory
-
-    return decorate
+    return MAPPERS.register(name)
 
 
 def available_mappers() -> list[str]:
     """Sorted names of every registered mapper."""
-    return sorted(_REGISTRY)
+    return MAPPERS.available()
 
 
 def get_mapper(name: str, **params: object) -> Mapper:
     """Instantiate the mapper registered under ``name`` with ``params``."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise UnknownMapperError(
-            f"unknown mapper {name!r}; available: {', '.join(available_mappers())}"
-        ) from None
-    return factory(**params)
+    return MAPPERS.get(name, **params)

@@ -12,6 +12,8 @@
     mimdmap sensitivity [--seed N]           # workload-knob sensitivity sweeps
     mimdmap map --tasks N --topology F --size K [--mapper M]  # one-off mapping
     mimdmap compare [--mappers a,b,...]      # all registered mappers, one instance
+    mimdmap sweep SPEC.json [--workers N] [--out results.jsonl]  # scenario grid
+    mimdmap list {mappers,clusterers,workloads,topologies}  # registry contents
 
 Also runnable as ``python -m repro ...``.
 """
@@ -55,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sensitivity", help="workload-knob sensitivity sweeps")
     p.add_argument("--seed", type=int, default=5)
 
-    from .api import available_mappers
+    from .api import available_clusterers, available_mappers
 
     def add_instance_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--tasks", type=int, default=80, help="problem graph size np")
@@ -70,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--clusterer",
             default="random",
-            choices=["random", "band", "load", "linear", "edgezero", "dsc"],
+            choices=available_clusterers(),
             help="clustering algorithm for the np -> na step",
         )
         p.add_argument(
@@ -107,6 +109,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="process-pool size for running the mappers in parallel",
     )
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a scenario grid from a JSON spec, streaming JSONL results",
+    )
+    p.add_argument("spec", help="sweep spec file (see README 'Sweeps')")
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSONL output path; an existing file resumes the sweep "
+        "(completed runs are reused, only missing ones execute)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size; results are identical at any worker count",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="omit per-run progress lines"
+    )
+    p.add_argument(
+        "--no-table", action="store_true", help="omit the aggregate tables"
+    )
+
+    p = sub.add_parser("list", help="list one registry's component names")
+    p.add_argument(
+        "axis",
+        choices=["mappers", "clusterers", "workloads", "topologies"],
+        help="which registry to list",
+    )
     return parser
 
 
@@ -130,6 +164,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_map(args)
     elif command == "compare":
         _run_compare(args)
+    elif command == "sweep":
+        _run_sweep(args)
+    elif command == "list":
+        _run_list(args)
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command!r}")
     return 0
@@ -241,27 +279,12 @@ def _build_instance(args: argparse.Namespace):
     ``--tasks``/``--size`` — exits with code 2 and a one-line message
     instead of a traceback.
     """
-    from .clustering import (
-        BandClusterer,
-        DscClusterer,
-        EdgeZeroClusterer,
-        LinearClusterer,
-        LoadBalanceClusterer,
-        RandomClusterer,
-    )
+    from .api import get_clusterer
     from .core import ClusteredGraph
     from .topology import by_name
     from .utils import GraphError, MappingError
     from .workloads import layered_random_dag
 
-    clusterers = {
-        "random": RandomClusterer,
-        "band": BandClusterer,
-        "load": LoadBalanceClusterer,
-        "linear": LinearClusterer,
-        "edgezero": EdgeZeroClusterer,
-        "dsc": DscClusterer,
-    }
     command: str = args.command
     try:
         if args.input is not None:
@@ -277,9 +300,9 @@ def _build_instance(args: argparse.Namespace):
             graph = layered_random_dag(num_tasks=args.tasks, rng=args.seed)
             clustering = None
         if clustering is None:
-            clustering = clusterers[args.clusterer](system.num_nodes).cluster(
-                graph, rng=args.seed
-            )
+            clustering = get_clusterer(
+                args.clusterer, num_clusters=system.num_nodes
+            ).cluster(graph, rng=args.seed)
         return ClusteredGraph(graph, clustering), system
     except (GraphError, MappingError) as exc:
         raise _cli_error(command, str(exc)) from None
@@ -366,6 +389,86 @@ def _run_compare(args: argparse.Namespace) -> None:
     print(f"clusterer  : {args.clusterer}")
     print()
     print(format_comparison(outcomes))
+
+
+def _run_sweep(args: argparse.Namespace) -> None:
+    import json
+
+    from .api import format_sweep, load_spec, run_scenarios
+    from .api.scenario import ScenarioError
+    from .utils import GraphError, MappingError
+
+    if args.workers < 1:
+        raise _cli_error("sweep", f"--workers must be >= 1, got {args.workers}")
+    try:
+        scenarios = load_spec(args.spec)
+    except OSError as exc:
+        raise _cli_error(
+            "sweep", f"cannot read spec file {args.spec!r}: {exc.strerror or exc}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise _cli_error(
+            "sweep", f"spec file {args.spec!r} is not valid JSON: {exc}"
+        ) from None
+    except ScenarioError as exc:
+        raise _cli_error("sweep", str(exc)) from None
+
+    total = sum(s.replicas for s in scenarios)
+    print(f"sweep: {len(scenarios)} scenarios, {total} runs", flush=True)
+
+    done = 0
+
+    def progress(record: dict) -> None:
+        nonlocal done
+        done += 1
+        if args.quiet:
+            return
+        o = record["outcome"]
+        pct = 100.0 * o["total_time"] / o["lower_bound"]
+        print(
+            f"[{done}/{total}] {record['run']['label']} "
+            f"(r{record['run']['replica']}): total={o['total_time']} "
+            f"bound={o['lower_bound']} ({pct:.1f}%)",
+            flush=True,
+        )
+
+    try:
+        result = run_scenarios(
+            scenarios, out=args.out, max_workers=args.workers, on_record=progress
+        )
+    except (GraphError, MappingError) as exc:
+        raise _cli_error("sweep", str(exc)) from None
+    except OSError as exc:
+        raise _cli_error(
+            "sweep",
+            f"cannot write output file {args.out!r}: {exc.strerror or exc}",
+        ) from None
+    if args.out:
+        print(
+            f"wrote {len(result.records)} records to {args.out} "
+            f"({result.executed} executed, {result.reused} reused)"
+        )
+    if not args.no_table:
+        print()
+        print(format_sweep(result.records))
+
+
+def _run_list(args: argparse.Namespace) -> None:
+    from .api import (
+        available_clusterers,
+        available_mappers,
+        available_topologies,
+        available_workloads,
+    )
+
+    listings = {
+        "mappers": available_mappers,
+        "clusterers": available_clusterers,
+        "workloads": available_workloads,
+        "topologies": available_topologies,
+    }
+    for name in listings[args.axis]():
+        print(name)
 
 
 if __name__ == "__main__":  # pragma: no cover

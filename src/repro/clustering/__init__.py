@@ -1,4 +1,10 @@
-"""Clustering substrate: partitioning task graphs into ``na`` clusters."""
+"""Clustering substrate: partitioning task graphs into ``na`` clusters.
+
+Every clusterer here is also registered by name in the
+:data:`repro.api.CLUSTERERS` registry (``random``, ``round_robin``,
+``block``, ``band``, ``load_balance``, ``linear``, ``edge_zero``,
+``dsc``), which is how scenario sweeps and the CLI select them.
+"""
 
 from .base import Clusterer, rebalance_empty_clusters, validate_request
 from .dsc import DscClusterer

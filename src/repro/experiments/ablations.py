@@ -18,14 +18,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..clustering.simple import RandomClusterer
+from ..api.components import build_workload, get_clusterer
 from ..core.clustered import ClusteredGraph
 from ..core.mapper import CriticalEdgeMapper
 from ..sim.engine import SimConfig, simulate
 from ..topology.base import SystemGraph
 from ..topology.generators import hypercube, mesh2d, random_connected
 from ..utils import Stopwatch, as_rng
-from ..workloads.random_dag import layered_random_dag
 
 __all__ = [
     "AblationRow",
@@ -66,13 +65,25 @@ def _instances(
     instances_per_system: int,
     gen: np.random.Generator,
     num_tasks: int = 120,
+    workload: str = "layered_random",
+    workload_params: dict | None = None,
+    clusterer: str = "random",
 ):
+    """Ablation instances, with the workload/clusterer axes registry-named.
+
+    ``num_tasks`` only applies to the random-DAG generators; fixed-
+    structure workloads (``fft``, ``cholesky``, ...) are sized entirely
+    by ``workload_params``.
+    """
+    params = dict(workload_params or {})
+    if workload in ("layered_random", "gnp", "series_parallel"):
+        params.setdefault("num_tasks", num_tasks)
     for system in systems:
         for k in range(instances_per_system):
-            graph = layered_random_dag(num_tasks=num_tasks, rng=gen)
-            clustering = RandomClusterer(num_clusters=system.num_nodes).cluster(
-                graph, rng=gen
-            )
+            graph = build_workload(workload, params, rng=gen)
+            clustering = get_clusterer(
+                clusterer, num_clusters=system.num_nodes
+            ).cluster(graph, rng=gen)
             yield f"{system.name}#{k}", ClusteredGraph(graph, clustering), system
 
 
@@ -258,8 +269,10 @@ def run_scaling_study(
         system = hypercube(dim)
         ns = system.num_nodes
         for n in task_counts:
-            graph = layered_random_dag(num_tasks=n, rng=gen)
-            clustering = RandomClusterer(num_clusters=ns).cluster(graph, rng=gen)
+            graph = build_workload("layered_random", {"num_tasks": n}, rng=gen)
+            clustering = get_clusterer("random", num_clusters=ns).cluster(
+                graph, rng=gen
+            )
             clustered = ClusteredGraph(graph, clustering)
             mapper = CriticalEdgeMapper(rng=gen)
             with Stopwatch() as sw:

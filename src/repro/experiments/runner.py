@@ -2,14 +2,19 @@
 
 One experiment (one row of Tables 1-3) is:
 
-1. generate a random problem graph (``np`` in [30, 300]),
-2. randomly cluster it into ``na == ns`` clusters,
+1. generate a problem graph (``np`` in [30, 300]) with the configured
+   workload generator (default: ``layered_random``),
+2. cluster it into ``na == ns`` clusters with the configured clusterer
+   (default: ``random``, the paper's choice),
 3. map with the configured mapper (default: the critical-edge strategy
-   with initial + refinement + termination condition) via the
-   :mod:`repro.api` registry,
+   with initial + refinement + termination condition),
 4. map the same instance with ``random_samples`` random assignments and
    average their total times,
 5. report both as percentages over the ideal lower bound.
+
+Steps 1-3 resolve their components by name through the
+:mod:`repro.api` registries, so any registered workload, clusterer, or
+mapper can be swapped in via :class:`ExperimentConfig`.
 """
 
 from __future__ import annotations
@@ -20,13 +25,11 @@ from typing import Mapping
 import numpy as np
 
 from ..analysis.stats import ExperimentRow
-from ..api import MapOutcome, get_mapper
+from ..api import MapOutcome, build_workload, get_clusterer, get_mapper
 from ..baselines.random_map import average_random_mapping
-from ..clustering.simple import RandomClusterer
 from ..core.clustered import ClusteredGraph
 from ..topology.base import SystemGraph
 from ..utils import as_rng
-from ..workloads.random_dag import layered_random_dag
 
 __all__ = ["ExperimentConfig", "run_experiment", "run_table"]
 
@@ -53,10 +56,14 @@ class ExperimentConfig:
       critical chains embed exactly), and the paper's per-table hit
       counts (7/11 on meshes) require many such instances.
 
-    ``mapper`` names any registered mapper (``repro.api.available_mappers()``);
-    ``mapper_params`` are extra factory keywords for it.  The legacy
+    ``mapper``, ``clusterer``, and ``workload`` name components from the
+    :mod:`repro.api` registries (``available_mappers()`` etc.);
+    ``mapper_params``/``clusterer_params``/``workload_params`` are extra
+    factory keywords for them.  The legacy
     ``refinement``/``refinement_trials`` knobs keep configuring the
-    default ``critical`` mapper.
+    default ``critical`` mapper, and the layered-random knobs
+    (``extra_edge_prob``, ``task_size_range``, ...) keep configuring the
+    default ``layered_random`` workload.
     """
 
     min_tasks: int = 30
@@ -71,6 +78,10 @@ class ExperimentConfig:
     refinement_trials: int | None = None  # None = the paper's ns
     mapper: str = "critical"
     mapper_params: Mapping[str, object] = field(default_factory=dict)
+    clusterer: str = "random"
+    clusterer_params: Mapping[str, object] = field(default_factory=dict)
+    workload: str = "layered_random"
+    workload_params: Mapping[str, object] = field(default_factory=dict)
 
     def mapper_factory_params(self) -> dict[str, object]:
         """Constructor keywords for :func:`repro.api.get_mapper`."""
@@ -78,6 +89,27 @@ class ExperimentConfig:
         if self.mapper == "critical":
             params.setdefault("refinement", self.refinement)
             params.setdefault("refinement_trials", self.refinement_trials)
+        return params
+
+    def workload_factory_params(
+        self, num_tasks: int, name: str
+    ) -> dict[str, object]:
+        """Generator keywords for :func:`repro.api.build_workload`.
+
+        The random ``np`` draw only parameterizes generators that take a
+        ``num_tasks`` knob (the random-DAG family); fixed-structure
+        workloads (``fft``, ``cholesky``, ...) are sized entirely by
+        ``workload_params``.
+        """
+        params: dict[str, object] = dict(self.workload_params)
+        if self.workload in ("layered_random", "gnp", "series_parallel"):
+            params.setdefault("num_tasks", num_tasks)
+        if self.workload == "layered_random":
+            params.setdefault("extra_edge_prob", self.extra_edge_prob)
+            params.setdefault("extra_edges_per_task", self.extra_edges_per_task)
+            params.setdefault("task_size_range", self.task_size_range)
+            params.setdefault("comm_range", self.comm_range)
+            params.setdefault("name", name)
         return params
 
 
@@ -98,16 +130,14 @@ def run_experiment(
             num_tasks = int(round(np.exp(log_n)))
         else:
             num_tasks = int(gen.integers(lo, config.max_tasks + 1))
-    graph = layered_random_dag(
-        num_tasks=num_tasks,
-        extra_edge_prob=config.extra_edge_prob,
-        extra_edges_per_task=config.extra_edges_per_task,
-        task_size_range=config.task_size_range,
-        comm_range=config.comm_range,
+    graph = build_workload(
+        config.workload,
+        config.workload_factory_params(num_tasks, f"exp{index}-{system.name}"),
         rng=gen,
-        name=f"exp{index}-{system.name}",
     )
-    clustering = RandomClusterer(num_clusters=ns).cluster(graph, rng=gen)
+    clustering = get_clusterer(
+        config.clusterer, num_clusters=ns, **config.clusterer_params
+    ).cluster(graph, rng=gen)
     clustered = ClusteredGraph(graph, clustering)
 
     mapper = get_mapper(config.mapper, **config.mapper_factory_params())
@@ -117,7 +147,7 @@ def run_experiment(
     )
     row = ExperimentRow(
         index=index,
-        num_tasks=num_tasks,
+        num_tasks=graph.num_tasks,
         num_processors=ns,
         topology=system.name,
         lower_bound=outcome.lower_bound,

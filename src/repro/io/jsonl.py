@@ -1,0 +1,57 @@
+"""JSON-Lines helpers for streamed experiment results.
+
+Sweeps append one canonical JSON object per line as work completes, so a
+killed run leaves a readable prefix.  :func:`read_jsonl` therefore
+tolerates a truncated final line (the one the crash interrupted) while
+still rejecting files that are wholesale not JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from ..utils import GraphError
+
+__all__ = ["dumps_record", "read_jsonl", "write_record"]
+
+
+def dumps_record(record: dict[str, Any]) -> str:
+    """One canonical JSONL line (sorted keys, compact separators, no newline).
+
+    Canonical form makes result files byte-comparable across runs and
+    worker counts.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_record(fh: TextIO, record: dict[str, Any]) -> None:
+    """Append one record and flush, so readers see every completed line."""
+    fh.write(dumps_record(record) + "\n")
+    fh.flush()
+
+
+def read_jsonl(
+    path: str | Path, *, tolerate_partial: bool = True
+) -> list[dict[str, Any]]:
+    """Read a JSONL file into a list of dicts.
+
+    With ``tolerate_partial`` (the default), a malformed *final* line —
+    the signature of a truncated/killed writer — is silently dropped;
+    malformed lines anywhere else raise :class:`GraphError`.
+    """
+    lines = Path(path).read_text().splitlines()
+    records: list[dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if tolerate_partial and i == len(lines) - 1:
+                break
+            raise GraphError(
+                f"{path}: line {i + 1} is not valid JSON: {line[:80]!r}"
+            ) from None
+    return records

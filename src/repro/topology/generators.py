@@ -7,7 +7,12 @@ binary tree, cube-connected cycles, de Bruijn, butterfly) so workloads can
 be studied on machines with very different diameters and degrees.
 
 Every generator returns a :class:`~repro.topology.base.SystemGraph` with a
-descriptive ``name``.
+descriptive ``name``.  The generators are also registered in the
+:data:`repro.api.TOPOLOGIES` registry, where
+:func:`repro.api.build_topology` parses ``family:args`` specs like
+``"hypercube:3"`` or ``"torus2d:4x4"`` — the declarative form scenario
+sweeps and the CLI use.  :func:`by_name` remains the legacy size-based
+dispatcher (``("mesh", 12)`` -> squarest 12-node mesh).
 """
 
 from __future__ import annotations

@@ -1,4 +1,11 @@
-"""Workload substrate: task-graph generators for experiments and examples."""
+"""Workload substrate: task-graph generators for experiments and examples.
+
+The general-purpose generators are also registered by name in the
+:data:`repro.api.WORKLOADS` registry (``layered_random``, ``gnp``,
+``fft``, ``cholesky``, ``lu``, ...; see ``mimdmap list workloads``),
+which is how scenario sweeps select them.  The paper-example fixtures
+stay import-only.
+"""
 
 from .classic import (
     divide_conquer_dag,

@@ -146,6 +146,22 @@ class TestFacade:
         assert repro.available_mappers is available_mappers
         assert repro.MapOutcome is MapOutcome
 
+    def test_format_comparison_rejects_empty(self):
+        from repro.api import format_comparison
+
+        with pytest.raises(ValueError, match="at least one"):
+            format_comparison([])
+
+    def test_format_comparison_bound_survives_sorting(self, small_instance):
+        """The title bound comes from the instance, not the fastest mapper."""
+        from repro.api import format_comparison
+
+        clustered, system = small_instance
+        outcomes = compare(clustered, system, mappers=["tabu", "critical"], seed=2)
+        table = format_comparison(outcomes)
+        assert f"lower bound = {outcomes[0].lower_bound}" in table
+        assert "lower bound = 0" not in table
+
     def test_outcome_rejects_impossible_report(self, small_instance):
         clustered, system = small_instance
         with pytest.raises(MappingError, match="below the lower bound"):

@@ -193,3 +193,94 @@ class TestErrorPaths:
         out = capsys.readouterr().out
         assert "ring-4" in out
         assert "lower bound:" in out
+
+
+class TestSweepAndList:
+    """The `sweep` and `list` subcommands (the scenario-grid front end)."""
+
+    SPEC = {
+        "grid": {
+            "workload": {"name": "fft", "params": {"points_log2": 2}},
+            "topology": ["hypercube:2", "mesh2d:2x2"],
+            "mapper": ["critical", {"name": "random", "params": {"samples": 3}}],
+        },
+        "seed": 5,
+    }
+
+    def _write_spec(self, tmp_path, spec=None):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec or self.SPEC))
+        return path
+
+    @pytest.mark.parametrize(
+        "axis, expect",
+        [
+            ("mappers", "critical"),
+            ("clusterers", "dsc"),
+            ("workloads", "layered_random"),
+            ("topologies", "torus2d"),
+        ],
+    )
+    def test_list_axes(self, capsys, axis, expect):
+        assert main(["list", axis]) == 0
+        names = capsys.readouterr().out.split()
+        assert expect in names
+        assert len(names) >= 4
+
+    def test_list_rejects_unknown_axis(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "gadgets"])
+
+    def test_sweep_streams_and_aggregates(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        out = tmp_path / "results.jsonl"
+        assert main(["sweep", str(spec), "--workers", "2", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "4 scenarios, 4 runs" in printed
+        assert "mean total time" in printed  # the aggregate table
+        from repro.io import read_jsonl
+
+        assert len(read_jsonl(out)) == 4
+
+    def test_sweep_resumes(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        out = tmp_path / "results.jsonl"
+        assert main(["sweep", str(spec), "--out", str(out), "--quiet"]) == 0
+        first = out.read_bytes()
+        capsys.readouterr()
+        assert main(["sweep", str(spec), "--out", str(out), "--quiet"]) == 0
+        assert "4 reused" in capsys.readouterr().out
+        assert out.read_bytes() == first
+
+    def test_sweep_missing_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "/no/such/spec.json"])
+        assert excinfo.value.code == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_sweep_invalid_json_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", str(bad)])
+        assert excinfo.value.code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_sweep_bad_axis_exits_2(self, capsys, tmp_path):
+        spec = self._write_spec(
+            tmp_path,
+            {"grid": {"workload": "warp_field", "topology": "hypercube:2"}},
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", str(spec)])
+        assert excinfo.value.code == 2
+        assert "'workload'" in capsys.readouterr().err
+
+    def test_sweep_bad_workers_exits_2(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", str(spec), "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
