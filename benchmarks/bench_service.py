@@ -1,0 +1,163 @@
+"""Benchmark the MappingService: warm pool and warm cache vs one-shot calls.
+
+Two measurements, both recorded under
+``benchmarks/results/bench_service.txt``:
+
+* **warm pool** — a stream of small mapping batches, the resource-manager
+  access pattern.  Baseline: the pre-service behavior of building (and
+  tearing down) a fresh ``ProcessPoolExecutor`` for every batch.
+  Service: the same batches on one persistent pool
+  (:meth:`MappingService.run_on_pool`), paying startup once.
+* **warm cache** — one deterministic solve repeated.  Baseline: the cold
+  solve (mapper actually runs).  Service: the content-addressed re-solve,
+  which returns the stored outcome without executing anything.  The
+  outcomes are checked bit-identical, and the run fails (exit 1) if the
+  re-solve is not at least 10x faster — that margin is the point of the
+  cache.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full sizes
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.clustering import RandomClusterer
+from repro.core import ClusteredGraph
+from repro.service import MappingService, outcome_to_dict
+from repro.topology import hypercube
+from repro.workloads import layered_random_dag
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_service.txt"
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One (instance, mapper, seed) work unit; picklable for both pools."""
+
+    clustered: ClusteredGraph
+    system: object
+    mapper: object
+    seed: int
+
+
+def _run_task(task: _Task):
+    return task.mapper.map(task.clustered, task.system, rng=task.seed)
+
+
+def build_tasks(batch_size: int, num_tasks: int, seed: int) -> list[_Task]:
+    from repro.api import get_mapper
+
+    system = hypercube(3)
+    graph = layered_random_dag(num_tasks=num_tasks, rng=seed)
+    clustering = RandomClusterer(num_clusters=system.num_nodes).cluster(
+        graph, rng=seed
+    )
+    clustered = ClusteredGraph(graph, clustering)
+    mapper = get_mapper("random", samples=20)
+    return [_Task(clustered, system, mapper, seed + i) for i in range(batch_size)]
+
+
+def bench_warm_pool(batches: int, batch_size: int, workers: int, lines: list[str]):
+    tasks = build_tasks(batch_size, num_tasks=60, seed=100)
+
+    # Baseline: a fresh pool per batch (what every solve_many call did
+    # before the service existed).
+    cold_times = []
+    for _ in range(batches):
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_task, t) for t in tasks]
+            for future in as_completed(futures):
+                future.result()
+        cold_times.append(time.perf_counter() - start)
+
+    # Service: the same batches on one persistent pool.  The first batch
+    # pays pool startup; the steady state is what a long-lived service
+    # actually serves, so it is measured separately.
+    warm_times = []
+    with MappingService(max_workers=workers) as service:
+        for _ in range(batches + 1):
+            start = time.perf_counter()
+            for _item, _outcome in service.run_on_pool(
+                tasks, _run_task, max_workers=workers
+            ):
+                pass
+            warm_times.append(time.perf_counter() - start)
+    first, steady = warm_times[0], warm_times[1:]
+
+    cold = sum(cold_times) / len(cold_times)
+    warm = sum(steady) / len(steady)
+    lines.append(f"warm-pool benchmark ({batches} batches of {batch_size}, "
+                 f"{workers} workers)")
+    lines.append(f"  per-call pool creation : {cold * 1e3:8.1f} ms/batch")
+    lines.append(f"  service, first batch   : {first * 1e3:8.1f} ms (pays startup)")
+    lines.append(f"  service, steady state  : {warm * 1e3:8.1f} ms/batch")
+    lines.append(f"  steady-state speedup   : {cold / warm:8.2f}x")
+    return cold / warm
+
+
+def bench_warm_cache(num_tasks: int, lines: list[str]) -> float:
+    system = hypercube(4)
+    graph = layered_random_dag(num_tasks=num_tasks, rng=42)
+    clustering = RandomClusterer(num_clusters=system.num_nodes).cluster(
+        graph, rng=42
+    )
+    with MappingService() as service:
+        start = time.perf_counter()
+        first = service.solve(graph, clustering, system, mapper="tabu", rng=42)
+        cold = time.perf_counter() - start
+
+        start = time.perf_counter()
+        again = service.solve(graph, clustering, system, mapper="tabu", rng=42)
+        warm = time.perf_counter() - start
+
+    if outcome_to_dict(first) != outcome_to_dict(again):
+        raise AssertionError("cached re-solve is not bit-identical")
+    speedup = cold / warm
+    lines.append("")
+    lines.append(f"warm-cache benchmark (tabu on {num_tasks}-task DAG, 16-node "
+                 "hypercube)")
+    lines.append(f"  cold solve             : {cold * 1e3:8.1f} ms")
+    lines.append(f"  cached re-solve        : {warm * 1e3:8.3f} ms "
+                 "(fingerprint + lookup, no execution)")
+    lines.append(f"  re-solve speedup       : {speedup:8.0f}x (bit-identical)")
+    return speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for smoke runs"
+    )
+    args = parser.parse_args(argv)
+
+    batches, batch_size, workers = (3, 8, 2) if args.quick else (5, 16, 4)
+    cache_tasks = 120 if args.quick else 400
+
+    lines: list[str] = []
+    bench_warm_pool(batches, batch_size, workers, lines)
+    cache_speedup = bench_warm_cache(cache_tasks, lines)
+
+    report = "\n".join(lines)
+    print(report)
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(report + "\n")
+    print(f"\n[recorded -> {RESULTS_PATH}]")
+
+    if cache_speedup < 10:
+        print(f"FAIL: warm-cache speedup {cache_speedup:.1f}x is below 10x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

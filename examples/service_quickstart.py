@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Tour of the persistent mapping service (``repro.service``).
+
+Four stops:
+
+1. cache-aware synchronous solves — the second identical call returns
+   the stored outcome bit-identically without executing the mapper;
+2. async jobs — ``submit()``/``submit_scenario()`` return immediately
+   with a :class:`Job` to poll or block on, and identical in-flight
+   submissions share one execution;
+3. a durable store — a second service over the same JSONL answers the
+   same question without recomputing, i.e. the cache survives restarts;
+4. the HTTP front-end — the same service over ``POST /jobs`` /
+   ``GET /jobs/<id>``, exactly what ``mimdmap serve`` runs.
+
+Run:  python examples/service_quickstart.py
+"""
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.api import Scenario
+from repro.clustering import RandomClusterer
+from repro.service import MappingService, make_server
+from repro.topology import hypercube
+from repro.workloads import layered_random_dag
+
+SEED = 7
+
+
+def build_instance():
+    system = hypercube(3)
+    graph = layered_random_dag(num_tasks=80, rng=SEED)
+    clustering = RandomClusterer(num_clusters=system.num_nodes).cluster(
+        graph, rng=SEED
+    )
+    return graph, clustering, system
+
+
+def main() -> None:
+    graph, clustering, system = build_instance()
+    store = Path(tempfile.mkdtemp()) / "results.jsonl"
+
+    print("== 1. cache-aware solves ==")
+    with MappingService(max_workers=2, store_path=store) as service:
+        first = service.solve(graph, clustering, system, mapper="tabu", rng=SEED)
+        again = service.solve(graph, clustering, system, mapper="tabu", rng=SEED)
+        print(f"total time {first.total_time}, cached repeat is the same object: "
+              f"{again is first}")
+        print(f"cache stats: {service.cache.stats()}")
+
+        print("\n== 2. async jobs ==")
+        scenario = Scenario(
+            workload="fft", workload_params={"points_log2": 4},
+            topology="hypercube:3", mapper="critical", seed=SEED,
+        )
+        job = service.submit_scenario(scenario)
+        print(f"submitted {job.id}: status={job.status}")
+        outcome = job.result()
+        print(f"finished  {job.id}: status={job.status}, "
+              f"total={outcome.total_time} (bound {outcome.lower_bound})")
+        repost = service.submit_scenario(scenario)
+        print(f"re-submitted: cached={repost.cached}, same total="
+              f"{repost.result().total_time}")
+
+    print("\n== 3. the store survives restarts ==")
+    with MappingService(store_path=store) as reborn:
+        revived = reborn.solve(graph, clustering, system, mapper="tabu", rng=SEED)
+        print(f"recovered {reborn.cache.stats()['durable']} result(s); "
+              f"re-solve executed {reborn.executed} mapper run(s) "
+              f"and returned total={revived.total_time}")
+
+    print("\n== 4. the HTTP front-end ==")
+    with MappingService(max_workers=2) as service:
+        server = make_server(service, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://{host}:{port}"
+        body = json.dumps({"scenario": scenario.to_dict()}).encode()
+        with urllib.request.urlopen(
+            urllib.request.Request(f"{base}/jobs", data=body), timeout=30
+        ) as resp:
+            posted = json.loads(resp.read())
+        print(f"POST /jobs -> {posted['id']} (cached={posted['cached']})")
+        while True:
+            with urllib.request.urlopen(
+                f"{base}/jobs/{posted['id']}", timeout=30
+            ) as resp:
+                job_state = json.loads(resp.read())
+            if job_state["status"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        print(f"GET /jobs/{posted['id']} -> {job_state['status']}, "
+              f"total={job_state['outcome']['total_time']}")
+        with urllib.request.urlopen(f"{base}/registries/mappers", timeout=30) as resp:
+            print(f"GET /registries/mappers -> {json.loads(resp.read())['names']}")
+        server.shutdown()
+        server.server_close()
+
+
+if __name__ == "__main__":
+    main()

@@ -78,6 +78,7 @@ from .components import (
     register_clusterer,
     register_topology,
     register_workload,
+    registry_listing,
 )
 from .facade import format_comparison, solve, solve_instance
 from .outcome import MapOutcome
@@ -100,6 +101,7 @@ from .sweep import (
     derive_run_seeds,
     format_sweep,
     run_key,
+    run_scenario_once,
     run_scenarios,
     summarize_sweep,
 )
@@ -144,7 +146,9 @@ __all__ = [
     "register_mapper",
     "register_topology",
     "register_workload",
+    "registry_listing",
     "run_key",
+    "run_scenario_once",
     "run_scenarios",
     "solve",
     "solve_instance",

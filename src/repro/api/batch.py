@@ -9,9 +9,15 @@ Two entry points:
 Both derive one independent seed per (instance, mapper) work item from a
 single base seed via :class:`numpy.random.SeedSequence`, so results are
 bit-identical whether the batch runs serially or on a process pool, and
-regardless of worker count or completion order.  Parallelism uses
-``concurrent.futures.ProcessPoolExecutor`` because the schedule
-evaluation is CPU-bound numpy work that holds the GIL.
+regardless of worker count or completion order.  Parallelism runs on
+process workers (the schedule evaluation is CPU-bound numpy work that
+holds the GIL) owned by the *default* :class:`repro.service.MappingService`
+— one persistent pool shared by every batch in the process, so repeated
+calls pay pool startup once instead of per call.  Batches that cannot
+actually go parallel (``max_workers=1``, a single work item, or the
+``max_workers=None`` default on a single-CPU host) run inline and never
+touch a pool at all; an *explicit* ``max_workers > 1`` is honored as
+given.
 """
 
 from __future__ import annotations
@@ -19,7 +25,6 @@ from __future__ import annotations
 import os
 import zlib
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 import numpy as np
@@ -106,15 +111,28 @@ def _solve_item(item: _WorkItem) -> MapOutcome:
 
 
 def iter_item_outcomes(
-    items: Sequence, max_workers: int | None, solve: Callable = _solve_item
+    items: Sequence,
+    max_workers: int | None,
+    solve: Callable = _solve_item,
+    service=None,
 ) -> Iterator[tuple[object, MapOutcome]]:
     """Yield ``(item, solve(item))`` pairs as work completes.
 
-    The serial path (``max_workers == 1`` or a single item) yields in
-    input order; the process-pool path yields in completion order, which
-    is what lets sweeps stream results to disk while slower instances
-    are still running.  Each item's outcome depends only on the item
-    itself, so completion order never changes any result.
+    The serial path yields in input order; the process-pool path yields
+    in completion order, which is what lets sweeps stream results to
+    disk while slower instances are still running.  Each item's outcome
+    depends only on the item itself, so completion order never changes
+    any result.
+
+    The serial path is taken whenever the batch cannot actually go
+    parallel — ``max_workers == 1``, a single item, or the
+    ``max_workers=None`` default on a single-CPU host — and runs
+    entirely inline: no process pool is created or contacted (an
+    explicit ``max_workers > 1`` request is honored as given).
+    Parallel batches run on the persistent pool of
+    ``service`` (default: :func:`repro.service.default_service`), which
+    survives between calls; at most ``max_workers`` items are in flight
+    at once even though the shared pool may be larger.
 
     ``solve`` defaults to running a prepared :class:`_WorkItem`; callers
     with cheaper-to-ship work units (the scenario sweep sends specs and
@@ -123,15 +141,16 @@ def iter_item_outcomes(
     """
     if max_workers is not None and max_workers < 1:
         raise MappingError(f"max_workers must be >= 1, got {max_workers}")
-    if max_workers == 1 or len(items) <= 1:
+    workers = min(max_workers or os.cpu_count() or 1, len(items))
+    if workers <= 1:
         for item in items:
             yield item, solve(item)
         return
-    workers = min(max_workers or os.cpu_count() or 1, len(items))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(solve, item): item for item in items}
-        for future in as_completed(futures):
-            yield futures[future], future.result()
+    if service is None:
+        from ..service import default_service
+
+        service = default_service()
+    yield from service.run_on_pool(items, solve, max_workers=workers)
 
 
 def _run_items(items: Sequence[_WorkItem], max_workers: int | None) -> list[MapOutcome]:

@@ -77,6 +77,7 @@ __all__ = [
     "register_clusterer",
     "register_workload",
     "register_topology",
+    "registry_listing",
 ]
 
 #: The clustering axis: names -> Clusterer subclasses.
@@ -131,6 +132,32 @@ def available_workloads() -> list[str]:
 def available_topologies() -> list[str]:
     """Sorted names of every registered topology family."""
     return TOPOLOGIES.available()
+
+
+def registry_listing(kind: str) -> dict[str, object]:
+    """Machine-readable listing of one registry, by plural kind name.
+
+    The single serialization behind both ``mimdmap list --json`` and the
+    service's ``GET /registries/<kind>`` endpoint, so scripts and HTTP
+    clients see identical shapes::
+
+        {"kind": "mappers", "count": 8, "names": ["annealing", ...]}
+    """
+    from .registry import MAPPERS
+
+    registries = {
+        "mappers": MAPPERS,
+        "clusterers": CLUSTERERS,
+        "workloads": WORKLOADS,
+        "topologies": TOPOLOGIES,
+    }
+    if kind not in registries:
+        raise UnknownComponentError(
+            f"unknown registry {kind!r}; "
+            f"available: {', '.join(sorted(registries))}"
+        )
+    names = registries[kind].available()
+    return {"kind": kind, "count": len(names), "names": names}
 
 
 def get_clusterer(name: str, num_clusters: int, **params: object) -> Clusterer:

@@ -7,6 +7,13 @@ The facade is the narrow waist of the library::
 
 accepts any registered mapper by name, wires the clustering to the graph,
 and returns the uniform :class:`~repro.api.outcome.MapOutcome`.
+
+Both entry points are thin clients of the process-wide
+:func:`repro.service.default_service`: a solve with a registry-named
+mapper and an integer seed is content-addressed, so repeating it returns
+the service's stored outcome bit-identically instead of recomputing
+(see :mod:`repro.service`).  Everything else (instantiated mappers,
+generator or ``None`` rngs) executes unconditionally, exactly as before.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from ..core.clustered import ClusteredGraph, Clustering
 from ..core.taskgraph import TaskGraph
 from ..topology.base import SystemGraph
 from .outcome import MapOutcome
-from .registry import Mapper, get_mapper
+from .registry import Mapper
 
 __all__ = ["solve", "solve_instance", "format_comparison"]
 
@@ -59,15 +66,17 @@ def solve_instance(
     rng: int | np.random.Generator | None = None,
     **params: object,
 ) -> MapOutcome:
-    """Like :func:`solve` for an already-clustered instance."""
-    if isinstance(mapper, str):
-        mapper = get_mapper(mapper, **params)
-    elif params:
-        raise TypeError(
-            "mapper parameters can only be given with a mapper *name*; "
-            f"got an instantiated mapper and params {sorted(params)}"
-        )
-    return mapper.map(clustered, system, rng=rng)
+    """Like :func:`solve` for an already-clustered instance.
+
+    Delegates to the default :class:`~repro.service.MappingService`, so
+    identical (instance, mapper, params, seed) calls anywhere in the
+    process share one cached result.
+    """
+    from ..service import default_service
+
+    return default_service().solve_instance(
+        clustered, system, mapper=mapper, rng=rng, **params
+    )
 
 
 def format_comparison(outcomes: list[MapOutcome]) -> str:

@@ -46,6 +46,7 @@ __all__ = [
     "derive_run_seeds",
     "format_sweep",
     "run_key",
+    "run_scenario_once",
     "run_scenarios",
     "summarize_sweep",
 ]
@@ -137,10 +138,18 @@ class _RunItem:
     replica: int
 
 
-def _solve_run(item: _RunItem) -> MapOutcome:
-    instance, mapper_seed = build_scenario_instance(item.scenario, item.replica)
-    mapper = get_mapper(item.scenario.mapper, **item.scenario.mapper_params)
+def run_scenario_once(scenario: Scenario, replica: int = 0) -> MapOutcome:
+    """Execute one (scenario, replica) run — the *single* definition of
+    what a scenario run is, shared by the sweep engine and the service's
+    async scenario jobs (whose cache fingerprints rely on both paths
+    producing bit-identical outcomes)."""
+    instance, mapper_seed = build_scenario_instance(scenario, replica)
+    mapper = get_mapper(scenario.mapper, **scenario.mapper_params)
     return mapper.map(instance.clustered, instance.system, rng=mapper_seed)
+
+
+def _solve_run(item: _RunItem) -> MapOutcome:
+    return run_scenario_once(item.scenario, item.replica)
 
 
 def run_scenarios(
@@ -149,6 +158,7 @@ def run_scenarios(
     out: str | Path | None = None,
     max_workers: int | None = 1,
     on_record: Callable[[dict[str, Any]], None] | None = None,
+    service=None,
 ) -> SweepResult:
     """Run every (scenario, replica) pair, streaming results to ``out``.
 
@@ -167,12 +177,17 @@ def run_scenarios(
         never truncated before the sweep succeeds, and a finished
         sweep's bytes are identical however it was produced.
     max_workers:
-        ``1`` runs serially; larger values fan runs across a process
-        pool (results are identical either way — see
-        :func:`derive_run_seeds`).
+        ``1`` runs serially (inline, no process pool at all); larger
+        values fan runs across the persistent pool of the default
+        :class:`repro.service.MappingService` (results are identical
+        either way — see :func:`derive_run_seeds`), so back-to-back
+        sweeps reuse warm workers.
     on_record:
         Optional callback invoked with each record in spec order as it
         is finalized (for progress reporting).
+    service:
+        An explicit :class:`repro.service.MappingService` to run on
+        (default: the process-wide one).
     """
     runs = [
         (scenario, replica)
@@ -217,7 +232,7 @@ def run_scenarios(
 
         flush_ready()
         for item, outcome in iter_item_outcomes(
-            fresh_items, max_workers, solve=_solve_run
+            fresh_items, max_workers, solve=_solve_run, service=service
         ):
             by_index[item.index] = _make_record(item.scenario, item.replica, outcome)
             flush_ready()

@@ -13,7 +13,9 @@
     mimdmap map --tasks N --topology F --size K [--mapper M]  # one-off mapping
     mimdmap compare [--mappers a,b,...]      # all registered mappers, one instance
     mimdmap sweep SPEC.json [--workers N] [--out results.jsonl]  # scenario grid
-    mimdmap list {mappers,clusterers,workloads,topologies}  # registry contents
+    mimdmap list {mappers,clusterers,workloads,topologies} [--json]  # registries
+    mimdmap serve [--port P] [--workers N] [--store F.jsonl]  # HTTP mapping service
+    mimdmap --version
 
 Also runnable as ``python -m repro ...``.
 """
@@ -24,7 +26,23 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed distribution version, falling back to the source tree.
+
+    ``pip install -e .`` exposes the ``mimd-mapping-repro`` metadata;
+    plain ``PYTHONPATH=src`` runs fall back to ``repro.__version__``.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("mimd-mapping-repro")
+    except metadata.PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'A Mapping Strategy for MIMD Computers' "
             "(Yang, Bic & Nicolau, ICPP 1991)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -141,6 +162,46 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["mappers", "clusterers", "workloads", "topologies"],
         help="which registry to list",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing (same shape as GET /registries/<kind>)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP mapping service (POST /jobs, GET /jobs/<id>, "
+        "GET /registries/<kind>)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="persistent worker-pool size (default: one per CPU)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="FILE",
+        help="durable JSONL result store; an existing file is recovered so "
+        "previously solved jobs are served from cache across restarts",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="in-memory LRU capacity (evictions fall back to the store)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
     return parser
 
 
@@ -168,6 +229,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_sweep(args)
     elif command == "list":
         _run_list(args)
+    elif command == "serve":
+        _run_serve(args)
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command!r}")
     return 0
@@ -454,21 +517,58 @@ def _run_sweep(args: argparse.Namespace) -> None:
 
 
 def _run_list(args: argparse.Namespace) -> None:
-    from .api import (
-        available_clusterers,
-        available_mappers,
-        available_topologies,
-        available_workloads,
-    )
+    import json
 
-    listings = {
-        "mappers": available_mappers,
-        "clusterers": available_clusterers,
-        "workloads": available_workloads,
-        "topologies": available_topologies,
-    }
-    for name in listings[args.axis]():
-        print(name)
+    from .api import registry_listing
+
+    listing = registry_listing(args.axis)
+    if args.json:
+        print(json.dumps(listing, sort_keys=True))
+    else:
+        for name in listing["names"]:
+            print(name)
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    from .service import MappingService, make_server
+
+    if args.workers is not None and args.workers < 1:
+        raise _cli_error("serve", f"--workers must be >= 1, got {args.workers}")
+    if args.cache_size < 1:
+        raise _cli_error("serve", f"--cache-size must be >= 1, got {args.cache_size}")
+    if not (0 <= args.port <= 65535):
+        raise _cli_error("serve", f"--port must be in [0, 65535], got {args.port}")
+    service = MappingService(
+        max_workers=args.workers,
+        store_path=args.store,
+        cache_size=args.cache_size,
+    )
+    try:
+        server = make_server(
+            service, host=args.host, port=args.port, quiet=not args.verbose
+        )
+    except OSError as exc:
+        service.close()
+        raise _cli_error(
+            "serve",
+            f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}",
+        ) from None
+    host, port = server.server_address[:2]
+    if service.cache.store is not None:
+        print(
+            f"store: {service.cache.store.path} "
+            f"({service.cache.store.recovered} result(s) recovered)",
+            flush=True,
+        )
+    # The smoke tooling greps this exact line for the bound (ephemeral) port.
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.server_close()
+        service.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

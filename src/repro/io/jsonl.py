@@ -37,9 +37,20 @@ def read_jsonl(
 ) -> list[dict[str, Any]]:
     """Read a JSONL file into a list of dicts.
 
-    With ``tolerate_partial`` (the default), a malformed *final* line —
-    the signature of a truncated/killed writer — is silently dropped;
-    malformed lines anywhere else raise :class:`GraphError`.
+    The reader's contract, which the sweep checkpoints and the service
+    result store both rely on:
+
+    * an empty (or all-blank) file is a valid empty result, not an error;
+    * with ``tolerate_partial`` (the default), a line that fails to
+      *parse* is tolerated only as the **final** line — the signature of
+      a truncated/killed writer, however many complete records precede
+      it — and is silently dropped; anywhere else it raises
+      :class:`GraphError`;
+    * a line that parses but is not a JSON **object** always raises:
+      every record is written as an object and no proper prefix of a
+      serialized object is itself valid JSON, so a well-formed non-dict
+      line can never be a torn tail — it means the file is not a record
+      stream at all.
     """
     lines = Path(path).read_text().splitlines()
     records: list[dict[str, Any]] = []
@@ -47,11 +58,17 @@ def read_jsonl(
         if not line.strip():
             continue
         try:
-            records.append(json.loads(line))
+            record = json.loads(line)
         except json.JSONDecodeError:
             if tolerate_partial and i == len(lines) - 1:
                 break
             raise GraphError(
                 f"{path}: line {i + 1} is not valid JSON: {line[:80]!r}"
             ) from None
+        if not isinstance(record, dict):
+            raise GraphError(
+                f"{path}: line {i + 1} is valid JSON but not an object "
+                f"(got {type(record).__name__}): {line[:80]!r}"
+            )
+        records.append(record)
     return records

@@ -1,0 +1,51 @@
+"""Mapping-as-a-service: the persistent execution layer under the API.
+
+The :mod:`repro.api` facade answers *one* question per call and tears
+everything down afterwards.  This package keeps the machinery alive
+between questions, the way a resource manager actually uses a mapper:
+
+* :class:`MappingService` — long-lived owner of a lazily-started,
+  persistent process pool, an async job table, and a content-addressed
+  result cache;
+* :mod:`~repro.service.fingerprint` — canonical SHA-256 identity of a
+  computation: (task graph, clustering, system, mapper, params, seed);
+* :class:`~repro.service.store.ResultStore` — durable JSONL store that
+  survives restarts (crash-tolerant via the same tail-tolerant reader
+  the sweep checkpoints use);
+* :class:`~repro.service.cache.OutcomeCache` — bounded LRU over the
+  store;
+* :func:`make_server` — stdlib-only HTTP JSON front-end
+  (``mimdmap serve``).
+
+``solve``/``solve_many``/``compare``/``run_scenarios`` delegate their
+parallelism to :func:`default_service`, so every caller of the classic
+API shares one warm pool automatically.
+"""
+
+from .cache import OutcomeCache
+from .fingerprint import instance_fingerprint, scenario_fingerprint
+from .http import ServiceHTTPServer, make_server
+from .service import (
+    Job,
+    MappingService,
+    default_service,
+    set_default_service,
+    shutdown_default_service,
+)
+from .store import ResultStore, outcome_from_dict, outcome_to_dict
+
+__all__ = [
+    "Job",
+    "MappingService",
+    "OutcomeCache",
+    "ResultStore",
+    "ServiceHTTPServer",
+    "default_service",
+    "instance_fingerprint",
+    "make_server",
+    "outcome_from_dict",
+    "outcome_to_dict",
+    "scenario_fingerprint",
+    "set_default_service",
+    "shutdown_default_service",
+]

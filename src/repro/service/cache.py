@@ -1,0 +1,104 @@
+"""In-memory LRU over the durable store: the service's read path.
+
+Layering (fastest first):
+
+1. a bounded LRU of live :class:`MapOutcome` objects (no
+   deserialization on hit);
+2. the optional :class:`~repro.service.store.ResultStore` — disk JSONL
+   that survives restarts; hits are promoted back into the LRU.
+
+Both layers are keyed by the content-addressed fingerprint
+(:mod:`repro.service.fingerprint`), so "same computation" and "same
+cache entry" are the same statement.  Hit/miss/store counters feed the
+service's ``stats()`` and the HTTP ``GET /health`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..api.outcome import MapOutcome
+from ..utils import MappingError
+from .store import ResultStore
+
+__all__ = ["OutcomeCache"]
+
+
+class OutcomeCache:
+    """Fingerprint-keyed outcome cache: bounded LRU + optional store.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of outcomes held live in memory (>= 1).  Evicted
+        entries remain retrievable from the store, just slower.
+    store:
+        Durable second level; ``None`` for memory-only caching.
+    """
+
+    def __init__(self, capacity: int = 1024, store: ResultStore | None = None) -> None:
+        if capacity < 1:
+            raise MappingError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._store = store
+        self._lru: OrderedDict[str, MapOutcome] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def store(self) -> ResultStore | None:
+        return self._store
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def get(self, fingerprint: str) -> MapOutcome | None:
+        """The cached outcome, or ``None``; store hits are promoted."""
+        with self._lock:
+            outcome = self._lru.get(fingerprint)
+            if outcome is not None:
+                self._lru.move_to_end(fingerprint)
+                self.hits += 1
+                return outcome
+        if self._store is not None:
+            outcome = self._store.get(fingerprint)
+            if outcome is not None:
+                with self._lock:
+                    self.hits += 1
+                    self._insert(fingerprint, outcome)
+                return outcome
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, fingerprint: str, outcome: MapOutcome) -> None:
+        """Record a completed computation in both layers."""
+        with self._lock:
+            self.stores += 1
+            self._insert(fingerprint, outcome)
+        if self._store is not None:
+            self._store.put(fingerprint, outcome)
+
+    def _insert(self, fingerprint: str, outcome: MapOutcome) -> None:
+        self._lru[fingerprint] = outcome
+        self._lru.move_to_end(fingerprint)
+        while len(self._lru) > self._capacity:
+            self._lru.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._lru),
+                "capacity": self._capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "durable": int(len(self._store)) if self._store is not None else 0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OutcomeCache(entries={len(self)}, capacity={self._capacity})"

@@ -1,0 +1,126 @@
+"""Content-addressed identity of a mapping computation.
+
+A fingerprint is the SHA-256 of a canonical JSON encoding of *everything
+the result depends on*: the task graph, the clustering, the system graph
+(including heterogeneous link weights), the mapper name, its constructor
+parameters, and the seed.  Two solves with equal fingerprints are the
+same pure computation — every registered mapper is deterministic given
+an integer seed — so the :mod:`repro.service` cache can return the
+stored :class:`~repro.api.outcome.MapOutcome` bit-identically instead of
+recomputing.
+
+Scenario runs get the same treatment through
+:func:`scenario_fingerprint`: a sweep record is a pure function of
+``(scenario, replica)`` (see :mod:`repro.api.sweep`), so the scenario's
+canonical dict plus the replica index is the whole identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.clustered import ClusteredGraph
+from ..topology.base import SystemGraph
+
+__all__ = [
+    "canonical_json",
+    "instance_fingerprint",
+    "scenario_fingerprint",
+]
+
+#: Version tag mixed into every digest; bump when the canonical encoding
+#: changes so stale stores can never alias new computations.
+FINGERPRINT_VERSION = 1
+
+
+def _jsonable(value: object) -> object:
+    """Last-resort canonicalization for non-JSON parameter values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return repr(value)
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, repr fallback."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_jsonable
+    )
+
+
+def _digest(payload: Mapping[str, Any]) -> str:
+    blob = canonical_json({"v": FINGERPRINT_VERSION, **payload})
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _system_payload(system: SystemGraph) -> dict[str, Any]:
+    """System identity: nodes + links (+ weights when heterogeneous).
+
+    The display ``name`` is deliberately excluded — two hypercubes built
+    by different generators are the same machine.
+    """
+    payload: dict[str, Any] = {
+        "num_nodes": system.num_nodes,
+        "edges": [
+            [i, j]
+            for i in range(system.num_nodes)
+            for j in system.neighbors(i).tolist()
+            if i < j
+        ],
+    }
+    if system.is_weighted:
+        payload["link_weights"] = [
+            [i, j, system.link_weight(i, j)]
+            for i in range(system.num_nodes)
+            for j in system.neighbors(i).tolist()
+            if i < j
+        ]
+    return payload
+
+
+def instance_fingerprint(
+    clustered: ClusteredGraph,
+    system: SystemGraph,
+    mapper: str,
+    params: Mapping[str, object],
+    seed: int,
+) -> str:
+    """Fingerprint of one ``solve``: full instance + mapper config + seed."""
+    graph = clustered.graph
+    payload = {
+        "kind": "instance",
+        "task_sizes": graph.task_sizes.tolist(),
+        "task_edges": [[e.src, e.dst, e.weight] for e in graph.edges()],
+        "clustering": {
+            "num_clusters": clustered.clustering.num_clusters,
+            "labels": clustered.clustering.labels.tolist(),
+        },
+        "system": _system_payload(system),
+        "mapper": mapper,
+        "params": {k: params[k] for k in sorted(params)},
+        "seed": int(seed),
+    }
+    return _digest(payload)
+
+
+def scenario_fingerprint(scenario: Any, replica: int = 0) -> str:
+    """Fingerprint of one sweep run: the scenario's canonical key + replica.
+
+    :meth:`repro.api.scenario.Scenario.key` already excludes the fields a
+    run's result does not depend on (``name``, ``replicas``), so two
+    specs that pin the same (workload, clustering, topology, mapper,
+    params, seed) point share a fingerprint regardless of how many
+    replicas either sweep asked for.  The import is structural (anything
+    with ``key()``) to keep this module free of api-layer imports.
+    """
+    payload = {
+        "kind": "scenario",
+        "key": scenario.key(),
+        "replica": int(replica),
+    }
+    return _digest(payload)

@@ -1,0 +1,178 @@
+"""Stdlib-only HTTP front-end for a :class:`MappingService`.
+
+A small JSON API over :mod:`http.server` (threaded, so a long solve
+never blocks polling):
+
+* ``POST /jobs`` — submit a scenario run.  Body: either a scenario dict
+  (see :class:`repro.api.scenario.Scenario`) or
+  ``{"scenario": {...}, "replica": N}``.  Responds ``202`` with
+  ``{"id", "status", "cached", "fingerprint"}`` — ``200`` with
+  ``"cached": true`` when the content-addressed cache already holds the
+  result, in which case nothing executes.
+* ``GET /jobs/<id>`` — job status; includes the full outcome once done.
+* ``GET /jobs`` — summaries of every job.
+* ``GET /registries/<kind>`` — the same listing as
+  ``mimdmap list <kind> --json`` (one shared serialization).
+* ``GET /health`` — service stats (pool, cache hit rates, job counts).
+
+Run it with ``mimdmap serve`` (see :mod:`repro.cli`) or embed it::
+
+    from repro.service import MappingService, make_server
+    with MappingService() as service:
+        server = make_server(service, port=0)  # 0 = ephemeral port
+        print(server.server_address)
+        server.serve_forever()
+
+Errors are JSON too: ``{"error": ...}`` with 400/404/405 status.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlsplit
+
+from ..utils import MappingError
+from .service import MappingService
+
+__all__ = ["ServiceHTTPServer", "make_server"]
+
+_MAX_BODY = 16 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MappingService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: MappingService, *, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # -- helpers --------------------------------------------------------
+
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body is empty; send a JSON object")
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        service = self.server.service
+        if parts == ["health"] or not parts:
+            self._send(200, service.stats())
+        elif parts == ["jobs"]:
+            self._send(
+                200,
+                {
+                    "jobs": [
+                        {"id": j.id, "status": j.status, "cached": j.cached}
+                        for j in service.jobs()
+                    ]
+                },
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = service.job(parts[1])
+            if job is None:
+                self._error(404, f"unknown job {parts[1]!r}")
+            else:
+                self._send(200, job.to_dict())
+        elif len(parts) == 2 and parts[0] == "registries":
+            from ..api.components import registry_listing
+
+            try:
+                self._send(200, registry_listing(parts[1]))
+            except MappingError as exc:
+                self._error(404, str(exc))
+        else:
+            self._error(404, f"no route for GET {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if urlsplit(self.path).path.rstrip("/") != "/jobs":
+            self._error(404, f"no route for POST {self.path!r}")
+            return
+        try:
+            body = self._read_json()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            job = _submit_from_body(self.server.service, body)
+        except (MappingError, TypeError, ValueError) as exc:
+            self._error(400, str(exc))
+            return
+        self._send(
+            200 if job.cached else 202,
+            {
+                "id": job.id,
+                "status": job.status,
+                "cached": job.cached,
+                "fingerprint": job.fingerprint,
+            },
+        )
+
+
+def _submit_from_body(service: MappingService, body: Any):
+    """Turn one ``POST /jobs`` body into a submitted scenario job."""
+    from ..api.scenario import Scenario
+
+    if not isinstance(body, dict):
+        raise MappingError(f"a job request must be a JSON object, got {body!r}")
+    replica = 0
+    spec = body
+    if "scenario" in body:
+        extra = sorted(set(body) - {"scenario", "replica"})
+        if extra:
+            raise MappingError(
+                f"unknown job field(s) {', '.join(map(repr, extra))}; "
+                "expected 'scenario' and optional 'replica'"
+            )
+        spec = body["scenario"]
+        replica = body.get("replica", 0)
+        if not isinstance(replica, int) or isinstance(replica, bool) or replica < 0:
+            raise MappingError(f"'replica' must be an int >= 0, got {replica!r}")
+    scenario = Scenario.from_dict(spec)
+    return service.submit_scenario(scenario, replica)
+
+
+def make_server(
+    service: MappingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind (not start) the JSON API; ``port=0`` picks an ephemeral port.
+
+    The caller owns the loop: ``server.serve_forever()`` to run,
+    ``server.shutdown()`` from another thread to stop.  The bound port
+    is ``server.server_address[1]``.
+    """
+    return ServiceHTTPServer((host, port), service, quiet=quiet)

@@ -1,0 +1,144 @@
+"""Durable result store: fingerprint -> MapOutcome, as append-only JSONL.
+
+The store is the persistence layer under the service cache.  Every
+completed computation appends one canonical record
+``{"fingerprint": ..., "outcome": {...}}`` (flushed immediately, via
+:func:`repro.io.jsonl.write_record`), so a killed service leaves a
+readable prefix and the next start recovers every finished result
+through the tail-tolerant :func:`repro.io.jsonl.read_jsonl` reader —
+exactly the crash model the sweep checkpoints already use.
+
+Outcomes round-trip *losslessly*: :func:`outcome_to_dict` /
+:func:`outcome_from_dict` preserve every :class:`MapOutcome` field
+including the assignment vector, ``wall_time``, and ``extras``, which is
+what lets a warm-cache hit return the stored outcome bit-identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, TextIO
+
+import numpy as np
+
+from ..api.outcome import MapOutcome
+from ..core.assignment import Assignment
+from ..io.jsonl import read_jsonl, write_record
+from ..utils import MappingError
+
+__all__ = ["ResultStore", "outcome_from_dict", "outcome_to_dict"]
+
+
+def outcome_to_dict(outcome: MapOutcome) -> dict[str, Any]:
+    """Lossless plain-dict form of a :class:`MapOutcome`."""
+    return {
+        "mapper": outcome.mapper,
+        "assignment": [int(p) for p in outcome.assignment.assi.tolist()],
+        "total_time": int(outcome.total_time),
+        "lower_bound": int(outcome.lower_bound),
+        "evaluations": int(outcome.evaluations),
+        "reached_lower_bound": bool(outcome.reached_lower_bound),
+        "wall_time": float(outcome.wall_time),
+        "extras": {k: float(v) for k, v in sorted(outcome.extras.items())},
+    }
+
+
+def outcome_from_dict(data: dict[str, Any]) -> MapOutcome:
+    """Inverse of :func:`outcome_to_dict`."""
+    if not isinstance(data, dict):
+        raise MappingError(f"a stored outcome must be a dict, got {data!r}")
+    try:
+        return MapOutcome(
+            mapper=data["mapper"],
+            assignment=Assignment(np.asarray(data["assignment"], dtype=np.int64)),
+            total_time=int(data["total_time"]),
+            lower_bound=int(data["lower_bound"]),
+            evaluations=int(data["evaluations"]),
+            reached_lower_bound=bool(data["reached_lower_bound"]),
+            wall_time=float(data["wall_time"]),
+            extras={k: float(v) for k, v in data.get("extras", {}).items()},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MappingError(f"malformed stored outcome: {exc}") from None
+
+
+class ResultStore:
+    """Append-only fingerprint -> outcome store that survives restarts.
+
+    Parameters
+    ----------
+    path:
+        JSONL file; created on first write.  An existing file (even one
+        with a torn final line from a crash) is loaded at construction
+        and its results are served without recomputation.  ``None``
+        keeps the store purely in memory.
+
+    The store is thread-safe: the HTTP front-end's worker threads and
+    pool completion callbacks may read and write concurrently.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._path = Path(path) if path is not None else None
+        self._records: dict[str, dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self._fh: TextIO | None = None
+        self._closed = False
+        self.recovered = 0
+        if self._path is not None and self._path.exists():
+            for record in read_jsonl(self._path, tolerate_partial=True):
+                fp = record.get("fingerprint")
+                outcome = record.get("outcome")
+                if isinstance(fp, str) and isinstance(outcome, dict):
+                    self._records.setdefault(fp, outcome)
+            self.recovered = len(self._records)
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        with self._lock:
+            return fingerprint in self._records
+
+    def get(self, fingerprint: str) -> MapOutcome | None:
+        """The stored outcome under ``fingerprint``, or ``None``."""
+        with self._lock:
+            data = self._records.get(fingerprint)
+        return outcome_from_dict(data) if data is not None else None
+
+    def put(self, fingerprint: str, outcome: MapOutcome) -> bool:
+        """Store ``outcome``; returns False (and writes nothing) on a dup.
+
+        First write wins: a fingerprint names one pure computation, so a
+        duplicate can only be the same result recomputed.  A closed
+        store refuses the write (returns False) rather than silently
+        reopening its file.
+        """
+        data = outcome_to_dict(outcome)
+        with self._lock:
+            if self._closed or fingerprint in self._records:
+                return False
+            self._records[fingerprint] = data
+            if self._path is not None:
+                if self._fh is None:
+                    self._path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = self._path.open("a")
+                write_record(self._fh, {"fingerprint": fingerprint, "outcome": data})
+        return True
+
+    def close(self) -> None:
+        """Flush and close the file; later ``put`` calls are refused."""
+        with self._lock:
+            self._closed = True
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = str(self._path) if self._path else "memory"
+        return f"ResultStore({where!r}, results={len(self)})"

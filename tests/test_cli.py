@@ -284,3 +284,61 @@ class TestSweepAndList:
             main(["sweep", str(spec), "--workers", "0"])
         assert excinfo.value.code == 2
         assert "--workers" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("mimdmap ")
+        assert out.split()[1][0].isdigit()
+
+    def test_package_version_matches_source_fallback(self):
+        from repro.cli import package_version
+
+        version = package_version()
+        assert version and version[0].isdigit()
+
+
+class TestListJson:
+    def test_json_listing_matches_plain(self, capsys):
+        import json as json_mod
+
+        assert main(["list", "mappers"]) == 0
+        plain = capsys.readouterr().out.split()
+        assert main(["list", "mappers", "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["kind"] == "mappers"
+        assert payload["names"] == plain
+        assert payload["count"] == len(plain)
+
+    def test_json_listing_shares_http_serialization(self, capsys):
+        import json as json_mod
+
+        from repro.api import registry_listing
+
+        assert main(["list", "topologies", "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload == registry_listing("topologies")
+
+
+class TestServeValidation:
+    def test_bad_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["serve", "--workers", "0"])
+        assert exc_info.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bad_cache_size_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["serve", "--cache-size", "0"])
+        assert exc_info.value.code == 2
+        assert "--cache-size" in capsys.readouterr().err
+
+    def test_bad_port_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["serve", "--port", "70000"])
+        assert exc_info.value.code == 2
+        assert "--port" in capsys.readouterr().err

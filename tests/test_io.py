@@ -166,3 +166,83 @@ class TestPaperMatricesObject:
         )
         assert matrices.c_abs_edge.shape == (4, 5)
         assert matrices.c_abs_edge[0, 4] == 9  # critical degree of node 0
+
+
+class TestJsonl:
+    """The tail-tolerant JSONL reader's contract (see repro.io.jsonl)."""
+
+    def write(self, tmp_path, text, name="records.jsonl"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_round_trip(self, tmp_path):
+        from repro.io import read_jsonl, write_record
+
+        records = [{"key": f"k{i}", "value": i} for i in range(5)]
+        path = tmp_path / "records.jsonl"
+        with path.open("w") as fh:
+            for record in records:
+                write_record(fh, record)
+        assert read_jsonl(path) == records
+
+    def test_dumps_record_is_canonical(self):
+        from repro.io import dumps_record
+
+        assert dumps_record({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_empty_file_is_empty_result(self, tmp_path):
+        from repro.io import read_jsonl
+
+        path = self.write(tmp_path, "")
+        assert read_jsonl(path) == []
+        assert read_jsonl(path, tolerate_partial=False) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        from repro.io import read_jsonl
+
+        path = self.write(tmp_path, '\n\n{"a": 1}\n\n   \n')
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_torn_tail_after_many_records_dropped(self, tmp_path):
+        from repro.io import read_jsonl
+
+        good = [{"key": f"k{i}"} for i in range(4)]
+        text = "".join(json.dumps(r) + "\n" for r in good)
+        # the killed writer got half a record out, no trailing newline
+        path = self.write(tmp_path, text + '{"key": "k4", "val')
+        assert read_jsonl(path) == good
+
+    def test_torn_tail_rejected_when_strict(self, tmp_path):
+        from repro.io import read_jsonl
+
+        path = self.write(tmp_path, '{"a": 1}\n{"b": ')
+        with pytest.raises(GraphError, match="line 2"):
+            read_jsonl(path, tolerate_partial=False)
+
+    def test_torn_line_mid_file_always_raises(self, tmp_path):
+        from repro.io import read_jsonl
+
+        path = self.write(tmp_path, '{"a": 1}\n{"b": \n{"c": 3}\n')
+        with pytest.raises(GraphError, match="line 2"):
+            read_jsonl(path)
+
+    @pytest.mark.parametrize("bad", ["[1, 2, 3]", '"a string"', "42", "null"])
+    def test_non_dict_json_lines_always_raise(self, tmp_path, bad):
+        # A parseable non-object can never be a torn record (no proper
+        # prefix of a serialized object is valid JSON), so it is corruption
+        # even on the final line, with or without tolerance.
+        from repro.io import read_jsonl
+
+        path = self.write(tmp_path, '{"a": 1}\n' + bad + "\n")
+        with pytest.raises(GraphError, match="not an object"):
+            read_jsonl(path)
+        with pytest.raises(GraphError, match="not an object"):
+            read_jsonl(path, tolerate_partial=False)
+
+    def test_non_dict_mid_file_raises(self, tmp_path):
+        from repro.io import read_jsonl
+
+        path = self.write(tmp_path, '[]\n{"a": 1}\n')
+        with pytest.raises(GraphError, match="line 1"):
+            read_jsonl(path)

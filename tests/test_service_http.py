@@ -1,0 +1,195 @@
+"""End-to-end tests for the stdlib HTTP front-end (repro.service.http)."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import registry_listing
+from repro.service import MappingService, make_server
+
+SCENARIO = {
+    "workload": "fft",
+    "workload_params": {"points_log2": 3},
+    "topology": "hypercube:2",
+    "mapper": "critical",
+    "seed": 17,
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = MappingService(max_workers=2, cache_size=32)
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=10)
+    service.close()
+
+
+def request(server, path, body=None):
+    """One JSON request; returns (status, payload) including error statuses."""
+    host, port = server.server_address[:2]
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(body).encode() if body is not None else None,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def poll_job(server, job_id, deadline=60.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        status, payload = request(server, f"/jobs/{job_id}")
+        assert status == 200
+        if payload["status"] in ("done", "failed"):
+            return payload
+        time.sleep(0.05)
+    pytest.fail(f"job {job_id} did not finish within {deadline}s")
+
+
+class TestRoutes:
+    def test_health(self, server):
+        status, payload = request(server, "/health")
+        assert status == 200
+        assert payload["workers"] == 2
+        assert "cache" in payload and "jobs" in payload
+
+    @pytest.mark.parametrize(
+        "kind", ["mappers", "clusterers", "workloads", "topologies"]
+    )
+    def test_registries_match_cli_serialization(self, server, kind):
+        status, payload = request(server, f"/registries/{kind}")
+        assert status == 200
+        assert payload == registry_listing(kind)
+
+    def test_unknown_registry_404(self, server):
+        status, payload = request(server, "/registries/frobnicators")
+        assert status == 404
+        assert "unknown registry" in payload["error"]
+
+    def test_unknown_route_404(self, server):
+        status, payload = request(server, "/nope")
+        assert status == 404
+        status, payload = request(server, "/jobs/x/y/z")
+        assert status == 404
+
+    def test_unknown_job_404(self, server):
+        status, payload = request(server, "/jobs/job-424242")
+        assert status == 404
+        assert "unknown job" in payload["error"]
+
+    def test_query_strings_ignored_in_routing(self, server):
+        # cache-busting params like ?_=123 must not break route matching
+        status, payload = request(server, "/registries/mappers?_=123")
+        assert status == 200
+        assert payload == registry_listing("mappers")
+        status, posted = request(
+            server, "/jobs?async=1", {"scenario": dict(SCENARIO, seed=99)}
+        )
+        assert status in (200, 202)
+        status, polled = request(server, f"/jobs/{posted['id']}?poll=1")
+        assert status == 200
+        assert polled["id"] == posted["id"]
+
+
+class TestJobLifecycle:
+    def test_submit_poll_and_cached_repost(self, server):
+        # first POST: accepted, computed on the pool
+        status, posted = request(server, "/jobs", {"scenario": SCENARIO})
+        assert status == 202
+        assert posted["cached"] is False
+        assert posted["fingerprint"]
+
+        payload = poll_job(server, posted["id"])
+        assert payload["status"] == "done"
+        outcome = payload["outcome"]
+        assert outcome["total_time"] >= outcome["lower_bound"]
+
+        # identical re-POST: answered from the cache, nothing recomputes
+        status2, reposted = request(server, "/jobs", {"scenario": SCENARIO})
+        assert status2 == 200
+        assert reposted["cached"] is True
+        assert reposted["fingerprint"] == posted["fingerprint"]
+        cached_payload = poll_job(server, reposted["id"])
+        assert cached_payload["outcome"] == outcome
+
+    def test_bare_scenario_body(self, server):
+        body = dict(SCENARIO, seed=18)
+        status, posted = request(server, "/jobs", body)
+        assert status in (200, 202)
+        assert poll_job(server, posted["id"])["status"] == "done"
+
+    def test_jobs_listing(self, server):
+        status, payload = request(server, "/jobs")
+        assert status == 200
+        assert len(payload["jobs"]) >= 1
+        assert {"id", "status", "cached"} <= set(payload["jobs"][0])
+
+    def test_failed_job_surfaces_error(self, server):
+        body = {
+            "workload": "layered_random",
+            "workload_params": {"num_tasks": 4},
+            "topology": "hypercube:3",
+        }
+        status, posted = request(server, "/jobs", body)
+        assert status == 202
+        payload = poll_job(server, posted["id"])
+        assert payload["status"] == "failed"
+        assert "every node needs a cluster" in payload["error"]
+
+
+class TestValidation:
+    def test_invalid_json_body_400(self, server):
+        host, port = server.server_address[:2]
+        req = urllib.request.Request(
+            f"http://{host}:{port}/jobs", data=b"{not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req, timeout=30)
+        assert exc_info.value.code == 400
+
+    def test_empty_body_400(self, server):
+        status, payload = request(server, "/jobs", body={})
+        assert status == 400  # Scenario.from_dict: workload missing
+
+    def test_unknown_axis_400(self, server):
+        status, payload = request(
+            server, "/jobs", {"scenario": dict(SCENARIO, mapper="nonsense")}
+        )
+        assert status == 400
+        assert "unknown mapper" in payload["error"]
+
+    def test_unknown_job_field_400(self, server):
+        status, payload = request(
+            server, "/jobs", {"scenario": SCENARIO, "priority": 3}
+        )
+        assert status == 400
+        assert "priority" in payload["error"]
+
+    def test_bad_replica_400(self, server):
+        status, payload = request(
+            server, "/jobs", {"scenario": SCENARIO, "replica": -1}
+        )
+        assert status == 400
+
+    def test_replica_out_of_range_400(self, server):
+        status, payload = request(
+            server, "/jobs", {"scenario": SCENARIO, "replica": 5}
+        )
+        assert status == 400
+        assert "out of range" in payload["error"]
+
+    def test_post_to_wrong_path_404(self, server):
+        status, payload = request(server, "/registries/mappers", body={})
+        assert status == 404
