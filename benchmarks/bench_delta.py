@@ -11,16 +11,21 @@ Two modes:
 * ``--smoke`` — the CI guard: randomized move sequences on small
   instances across several topologies; every delta-accumulated aggregate
   must match a full re-evaluation bit-for-bit.  Exits 1 on any mismatch.
+  With ``--json-out FILE`` it also emits a machine-readable report
+  (bench name, elapsed seconds, case list, failure count) that
+  ``benchmarks/check_budgets.py`` compares against the stored budgets in
+  ``benchmarks/budgets.json`` — the CI perf-regression gate.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/bench_delta.py            # timings
-    PYTHONPATH=src python benchmarks/bench_delta.py --smoke    # CI guard
+    python benchmarks/bench_delta.py            # timings
+    python benchmarks/bench_delta.py --smoke --json-out BENCH_delta.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -41,8 +46,9 @@ def build_instance(num_tasks: int, system, seed: int):
     return ClusteredGraph(graph, clustering), system
 
 
-def smoke(seed: int) -> int:
+def smoke(seed: int, json_out: str | None = None) -> int:
     """Cross-check delta vs full evaluation; returns the exit code."""
+    started = time.perf_counter()
     cases = [
         ("hypercube-8", hypercube(3)),
         ("mesh-2x4", mesh2d(2, 4)),
@@ -73,6 +79,17 @@ def smoke(seed: int) -> int:
                 break
         else:
             print(f"ok   {name}: 60 moves, delta == full re-evaluation")
+    if json_out is not None:
+        report = {
+            "bench": "delta",
+            "mode": "smoke",
+            "seed": seed,
+            "elapsed_seconds": time.perf_counter() - started,
+            "cases": [name for name, _ in cases],
+            "failures": failures,
+        }
+        Path(json_out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[json report -> {json_out}]")
     if failures:
         print(f"SMOKE FAILED: {failures} case(s) diverged")
         return 1
@@ -169,9 +186,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-record", action="store_true", help="do not write the results file"
     )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write a machine-readable smoke report for the CI budget gate",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        return smoke(args.seed)
+        return smoke(args.seed, json_out=args.json_out)
+    if args.json_out is not None:
+        parser.error("--json-out is a --smoke option (the CI gate input)")
     return timings(args.tasks, args.moves, args.seed, record=not args.no_record)
 
 

@@ -1,0 +1,195 @@
+"""Quality/time benchmark for the multilevel coarsen–map–refine mapper.
+
+Compares ``multilevel`` against ``annealing``, ``tabu``, and ``critical``
+on large layered random DAGs, reporting the hop-weighted communication
+volume (the multilevel objective), the makespan, and the wall time.
+
+Two modes:
+
+* default — one row per ``--sizes`` entry (1k–10k tasks) on
+  ``--topology`` (default ``hypercube:6``, the acceptance instance).
+  Records ``benchmarks/results/bench_multilevel.txt`` and exits 1 if, on
+  the largest size, multilevel fails the acceptance invariant: comm
+  volume no worse than annealing's at <= 0.5x annealing's wall time.
+* ``--smoke`` — one smaller instance sized for CI; with
+  ``--json-out FILE`` it emits a machine-readable report
+  (per-mapper timings + ``comm_ratio``/``time_ratio`` vs annealing)
+  that ``benchmarks/check_budgets.py`` checks against the stored
+  budgets in ``benchmarks/budgets.json``.
+
+Run from the repo root::
+
+    python benchmarks/bench_multilevel.py                 # full table
+    python benchmarks/bench_multilevel.py --sizes 1000,5000,10000
+    python benchmarks/bench_multilevel.py --smoke --json-out BENCH_multilevel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.api import build_topology, get_mapper
+from repro.clustering import RandomClusterer
+from repro.core import ClusteredGraph, evaluate_assignment
+from repro.workloads import layered_random_dag
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_multilevel.txt"
+
+MAPPERS = ["multilevel", "annealing", "tabu", "critical"]
+SMOKE_MAPPERS = ["multilevel", "annealing", "critical"]
+
+
+def build_instance(num_tasks: int, topology: str, seed: int):
+    system = build_topology(topology)
+    graph = layered_random_dag(num_tasks=num_tasks, rng=seed)
+    clustering = RandomClusterer(system.num_nodes).cluster(graph, rng=seed)
+    return ClusteredGraph(graph, clustering), system
+
+
+def run_mapper(name: str, clustered, system, seed: int) -> dict:
+    """One timed run; mappers are built directly so the service cache
+    can never short-circuit a measurement."""
+    mapper = get_mapper(name)
+    start = time.perf_counter()
+    outcome = mapper.map(clustered, system, rng=seed)
+    wall = time.perf_counter() - start
+    schedule = evaluate_assignment(clustered, system, outcome.assignment)
+    return {
+        "wall_time": wall,
+        "total_time": int(outcome.total_time),
+        "comm_volume": int(schedule.communication_volume()),
+        "evaluations": int(outcome.evaluations),
+    }
+
+
+def acceptance(rows: dict[str, dict]) -> tuple[bool, str]:
+    """The recorded invariant: multilevel >= annealing quality on comm
+    volume at <= 0.5x annealing wall time."""
+    ml, ann = rows["multilevel"], rows["annealing"]
+    comm_ok = ml["comm_volume"] <= ann["comm_volume"]
+    time_ok = ml["wall_time"] <= 0.5 * ann["wall_time"]
+    verdict = (
+        f"multilevel comm {ml['comm_volume']} vs annealing {ann['comm_volume']} "
+        f"({'ok' if comm_ok else 'WORSE'}); wall {ml['wall_time']:.2f}s vs "
+        f"{ann['wall_time']:.2f}s = {ml['wall_time'] / max(ann['wall_time'], 1e-9):.2f}x "
+        f"({'ok' if time_ok else 'OVER 0.5x'})"
+    )
+    return comm_ok and time_ok, verdict
+
+
+def format_rows(size: int, topology: str, rows: dict[str, dict]) -> list[str]:
+    lines = [f"{size} tasks on {topology}:"]
+    for name in rows:
+        r = rows[name]
+        lines.append(
+            f"  {name:<10} comm={r['comm_volume']:>8} total={r['total_time']:>7} "
+            f"wall={r['wall_time']:>8.3f}s evals={r['evaluations']:>7}"
+        )
+    return lines
+
+
+def full(sizes: list[int], topology: str, seed: int, record: bool) -> int:
+    report_lines = [
+        "Multilevel coarsen-map-refine vs flat heuristics "
+        "(benchmarks/bench_multilevel.py)",
+        f"workload: layered_random, clusterer: random, seed: {seed}",
+    ]
+    last_rows: dict[str, dict] = {}
+    for size in sizes:
+        clustered, system = build_instance(size, topology, seed)
+        rows = {m: run_mapper(m, clustered, system, seed) for m in MAPPERS}
+        last_rows = rows
+        lines = format_rows(size, topology, rows)
+        print("\n".join(lines))
+        report_lines.extend(lines)
+    ok, verdict = acceptance(last_rows)
+    line = f"acceptance ({sizes[-1]} tasks): {verdict}"
+    print(line)
+    report_lines.append(line)
+    report_lines.append(f"acceptance {'PASSED' if ok else 'FAILED'}")
+    if record:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text("\n".join(report_lines) + "\n")
+        print(f"[recorded -> {RESULTS_PATH}]")
+    return 0 if ok else 1
+
+
+def smoke(tasks: int, topology: str, seed: int, json_out: str | None) -> int:
+    started = time.perf_counter()
+    clustered, system = build_instance(tasks, topology, seed)
+    rows = {m: run_mapper(m, clustered, system, seed) for m in SMOKE_MAPPERS}
+    elapsed = time.perf_counter() - started
+    print("\n".join(format_rows(tasks, topology, rows)))
+    ml, ann = rows["multilevel"], rows["annealing"]
+    comm_ratio = ml["comm_volume"] / max(ann["comm_volume"], 1)
+    time_ratio = ml["wall_time"] / max(ann["wall_time"], 1e-9)
+    print(
+        f"comm_ratio={comm_ratio:.4f} time_ratio={time_ratio:.4f} "
+        f"elapsed={elapsed:.2f}s"
+    )
+    if json_out is not None:
+        report = {
+            "bench": "multilevel",
+            "mode": "smoke",
+            "tasks": tasks,
+            "topology": topology,
+            "seed": seed,
+            "elapsed_seconds": elapsed,
+            "mappers": rows,
+            "comm_ratio": comm_ratio,
+            "time_ratio": time_ratio,
+        }
+        Path(json_out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[json report -> {json_out}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="1000,5000",
+        help="comma-separated task counts for the full table (1k-10k)",
+    )
+    parser.add_argument("--topology", default="hypercube:6", help="topology spec")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one CI-sized instance; combine with --json-out for the gate",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=1200, help="smoke-mode instance size"
+    )
+    parser.add_argument(
+        "--smoke-topology", default="hypercube:5", help="smoke-mode topology"
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write a machine-readable smoke report for the CI budget gate",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true", help="do not write the results file"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke(args.tasks, args.smoke_topology, args.seed, args.json_out)
+    if args.json_out is not None:
+        parser.error("--json-out is a --smoke option (the CI gate input)")
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    if not sizes:
+        parser.error(f"--sizes needs at least one task count, got {args.sizes!r}")
+    return full(sizes, args.topology, args.seed, record=not args.no_record)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

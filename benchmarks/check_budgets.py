@@ -1,0 +1,112 @@
+"""CI perf-regression gate: compare bench smoke reports to stored budgets.
+
+Usage::
+
+    python benchmarks/check_budgets.py BENCH_delta.json BENCH_multilevel.json
+
+Each report is the ``--json-out`` emission of a ``--smoke`` bench run
+(``benchmarks/bench_delta.py``, ``benchmarks/bench_multilevel.py``).
+Budgets live in ``benchmarks/budgets.json``, keyed by the report's
+``bench`` field:
+
+* ``max_seconds`` — the expected smoke runtime on a CI runner.  The
+  gate fails only when the measured ``elapsed_seconds`` exceeds **2x**
+  this budget, so ordinary runner jitter passes but a real slowdown
+  (an accidentally quadratic path, a lost fast path) is caught.
+* ``quality`` — a map of report keys to hard upper limits, checked
+  *without* slack: quality must never regress.  For the multilevel
+  bench these are ``comm_ratio`` (multilevel comm volume / annealing
+  comm volume, <= 1.0: multilevel must match or beat annealing) and
+  ``time_ratio`` (multilevel wall / annealing wall, <= 0.5).
+* reports may carry a ``failures`` count (the delta smoke's
+  correctness cross-check); any non-zero count fails the gate.
+
+Re-baselining: when a deliberate change moves a runtime budget, re-run
+the smoke commands locally (see the workflow's perf-gate job for the
+exact invocations), take the new ``elapsed_seconds``, and update
+``max_seconds`` in ``benchmarks/budgets.json`` in the same PR — with a
+sentence in the PR description saying why.  The ``quality`` limits are
+contractual, not measured; loosening one is an explicit design decision,
+not a re-baseline.
+
+Exits 1 on the first breached budget (after printing every check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BUDGETS_PATH = Path(__file__).parent / "budgets.json"
+
+
+def check_report(report: dict, budgets: dict) -> list[str]:
+    """Return a list of human-readable breaches (empty = pass)."""
+    bench = report.get("bench")
+    if bench not in budgets:
+        return [f"no stored budget for bench {bench!r} (add it to budgets.json)"]
+    budget = budgets[bench]
+    breaches: list[str] = []
+
+    failures = int(report.get("failures", 0))
+    if failures:
+        breaches.append(f"{bench}: {failures} correctness failure(s) in the smoke run")
+
+    if "elapsed_seconds" not in report:
+        breaches.append(f"{bench}: report is missing 'elapsed_seconds'")
+        return breaches
+    elapsed = float(report["elapsed_seconds"])
+    limit = 2.0 * float(budget["max_seconds"])
+    status = "ok" if elapsed <= limit else "FAIL"
+    print(
+        f"{bench}: elapsed {elapsed:.2f}s vs budget {budget['max_seconds']}s "
+        f"(hard limit 2x = {limit:.2f}s) [{status}]"
+    )
+    if elapsed > limit:
+        breaches.append(
+            f"{bench}: runtime {elapsed:.2f}s exceeds 2x the stored budget "
+            f"({budget['max_seconds']}s) — re-baseline only if the slowdown "
+            "is intended"
+        )
+
+    for key, max_value in budget.get("quality", {}).items():
+        if key not in report:
+            breaches.append(f"{bench}: report is missing quality metric {key!r}")
+            continue
+        value = float(report[key])
+        status = "ok" if value <= float(max_value) else "FAIL"
+        print(f"{bench}: {key} {value:.4f} (limit {max_value}) [{status}]")
+        if value > float(max_value):
+            breaches.append(
+                f"{bench}: quality metric {key} = {value:.4f} breaches the "
+                f"hard limit {max_value}"
+            )
+    return breaches
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reports", nargs="+", help="bench --json-out report files")
+    parser.add_argument(
+        "--budgets", default=str(BUDGETS_PATH), help="stored budgets file"
+    )
+    args = parser.parse_args(argv)
+
+    budgets = json.loads(Path(args.budgets).read_text())
+    breaches: list[str] = []
+    for path in args.reports:
+        report = json.loads(Path(path).read_text())
+        breaches.extend(check_report(report, budgets))
+    if breaches:
+        print()
+        for breach in breaches:
+            print(f"BUDGET BREACH: {breach}")
+        return 1
+    print("all budgets respected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

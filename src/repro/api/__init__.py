@@ -3,10 +3,11 @@
 Every axis of a mapping experiment is addressable by name through a
 :class:`~repro.api.registry.Registry`:
 
-* **mappers** — the paper's critical-edge strategy and all seven
-  baselines (``available_mappers()``: ``critical``, ``random``,
-  ``bokhari``, ``lee``, ``annealing``, ``quenching``, ``genetic``,
-  ``tabu``);
+* **mappers** — the paper's critical-edge strategy, all seven
+  baselines, and the multilevel coarsen–map–refine composition
+  (``available_mappers()``: ``critical``, ``random``, ``bokhari``,
+  ``lee``, ``annealing``, ``quenching``, ``genetic``, ``tabu``,
+  ``multilevel``);
 * **clusterers** — the np -> na partitioning stage
   (``available_clusterers()``: ``random``, ``band``, ``block``,
   ``round_robin``, ``load_balance``, ``linear``, ``edge_zero``, ``dsc``);

@@ -8,10 +8,19 @@ original signatures and result types — the adapters call them, they do
 not replace them.
 
 Registered names: ``critical``, ``random``, ``bokhari``, ``lee``,
-``annealing``, ``quenching``, ``genetic``, ``tabu``.
+``annealing``, ``quenching``, ``genetic``, ``tabu``, ``multilevel``.
+
+``multilevel`` is the first *composing* mapper: its ``initial=`` /
+``initial_params=`` parameters name another registered mapper that
+solves the coarsest level of the hierarchy (see
+:mod:`repro.core.multilevel`), so its parameter set nests a full
+sub-mapper configuration — which the service fingerprint canonicalizes
+recursively, keeping cache keys exact.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 import numpy as np
 
@@ -25,8 +34,9 @@ from ..core.clustered import ClusteredGraph
 from ..core.evaluate import total_time
 from ..core.ideal import ideal_schedule
 from ..core.mapper import CriticalEdgeMapper
+from ..core.multilevel import multilevel_map
 from ..topology.base import SystemGraph
-from ..utils import Stopwatch
+from ..utils import MappingError, Stopwatch
 from .outcome import MapOutcome
 from .registry import register_mapper
 
@@ -39,6 +49,7 @@ __all__ = [
     "QuenchingAdapter",
     "GeneticAdapter",
     "TabuAdapter",
+    "MultilevelAdapter",
 ]
 
 
@@ -305,6 +316,112 @@ class GeneticAdapter:
             reached_lower_bound=result.reached_lower_bound,
             wall_time=sw.elapsed,
             extras={"generations": float(result.generations)},
+        )
+
+
+@register_mapper("multilevel")
+class MultilevelAdapter:
+    """Coarsen–map–refine on top of any registered sub-mapper.
+
+    Contracts the abstract cluster graph (heavy-edge matching) and the
+    machine in lockstep, maps the coarsest level with the ``initial``
+    sub-mapper, then projects back level by level with KL/FM-style
+    communication-volume refinement (:mod:`repro.core.multilevel`).
+
+    Parameters
+    ----------
+    initial:
+        Registry name of the mapper that solves the coarsest level
+        (validated eagerly; near-misses get a suggestion).
+    initial_params:
+        Constructor parameters for the sub-mapper.
+    max_levels:
+        Hierarchy depth cap, counting the original resolution;
+        ``max_levels=1`` disables coarsening entirely, making the result
+        bit-identical to running ``initial`` directly.
+    min_coarse_tasks:
+        Stop coarsening once a level has at most this many nodes.
+    refine_passes:
+        KL/FM sweeps per level during uncoarsening (0 disables
+        refinement; projection alone then decides the placement).
+    """
+
+    def __init__(
+        self,
+        initial: str = "critical",
+        initial_params: Mapping[str, object] | None = None,
+        max_levels: int = 12,
+        min_coarse_tasks: int = 8,
+        refine_passes: int = 4,
+    ) -> None:
+        from .registry import get_mapper
+
+        if max_levels < 1:
+            raise MappingError(f"max_levels must be >= 1, got {max_levels}")
+        if min_coarse_tasks < 1:
+            raise MappingError(
+                f"min_coarse_tasks must be >= 1, got {min_coarse_tasks}"
+            )
+        if refine_passes < 0:
+            raise MappingError(f"refine_passes must be >= 0, got {refine_passes}")
+        self.initial = initial
+        self.initial_params = dict(initial_params or {})
+        self.max_levels = max_levels
+        self.min_coarse_tasks = min_coarse_tasks
+        self.refine_passes = refine_passes
+        # Build the sub-mapper eagerly: unknown names and bad parameters
+        # fail here, not in a worker process mid-batch.
+        self._sub = get_mapper(initial, **self.initial_params)
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        bound = ideal_schedule(clustered).total_time
+        sub_outcomes: list[MapOutcome] = []
+
+        def initial_mapper(coarse_clustered, coarse_system, coarse_rng):
+            outcome = self._sub.map(coarse_clustered, coarse_system, rng=coarse_rng)
+            sub_outcomes.append(outcome)
+            return outcome.assignment
+
+        with Stopwatch() as sw:
+            result = multilevel_map(
+                clustered,
+                system,
+                initial_mapper,
+                max_levels=self.max_levels,
+                min_coarse_tasks=self.min_coarse_tasks,
+                refine_passes=self.refine_passes,
+                rng=rng,
+            )
+            sub = sub_outcomes[0]
+            # Without coarsening the sub-mapper solved the original
+            # instance, so its exact makespan is reused bit-for-bit;
+            # otherwise the final assignment is evaluated once at full
+            # resolution.
+            time = (
+                total_time(clustered, system, result.assignment)
+                if result.coarsened
+                else sub.total_time
+            )
+        return MapOutcome(
+            mapper=self.name,
+            assignment=result.assignment,
+            total_time=time,
+            lower_bound=bound,
+            evaluations=sub.evaluations + result.refine_probes,
+            reached_lower_bound=time <= bound,
+            wall_time=sw.elapsed,
+            extras={
+                "levels": float(result.num_levels),
+                "coarsest_nodes": float(result.coarsest_nodes),
+                "comm_volume": float(result.comm_volume),
+                "refine_probes": float(result.refine_probes),
+                "refine_swaps": float(result.refine_swaps),
+            },
         )
 
 

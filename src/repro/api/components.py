@@ -197,7 +197,7 @@ def parse_topology_spec(spec: str) -> tuple[str, tuple[int, ...]]:
     if family not in TOPOLOGIES:
         raise UnknownComponentError(
             f"unknown topology {family!r} (in spec {spec!r}); "
-            f"available: {', '.join(available_topologies())}"
+            f"{TOPOLOGIES.suggest(family)}"
         )
     args: tuple[int, ...] = ()
     if arg_part:

@@ -21,6 +21,7 @@ imports.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
@@ -147,14 +148,25 @@ class Registry:
         return self.factory(name)(**params)
 
     def factory(self, name: str) -> Callable:
-        """The raw registered factory (no instantiation)."""
+        """The raw registered factory (no instantiation).
+
+        Unknown names raise with near-miss suggestions (``did you mean
+        'multilevel'?``) when the name resembles a registered one, and
+        only fall back to the full listing when nothing is close.
+        """
         try:
             return self._factories[name]
         except KeyError:
             raise self._unknown_error(
-                f"unknown {self.kind} {name!r}; "
-                f"available: {', '.join(self.available())}"
+                f"unknown {self.kind} {name!r}; {self.suggest(name)}"
             ) from None
+
+    def suggest(self, name: str) -> str:
+        """A ``did you mean ...?`` hint for ``name``, or the full listing."""
+        matches = difflib.get_close_matches(str(name), self.available(), n=3)
+        if matches:
+            return "did you mean " + " or ".join(repr(m) for m in matches) + "?"
+        return f"available: {', '.join(self.available())}"
 
     def available(self) -> list[str]:
         """Sorted names of every registered component."""

@@ -86,7 +86,7 @@ class Scenario:
             if not isinstance(value, str) or value not in registry:
                 raise ScenarioError(
                     f"scenario axis {axis!r}: unknown {registry.kind} {value!r}; "
-                    f"available: {', '.join(registry.available())}"
+                    f"{registry.suggest(value)}"
                 )
         try:
             parse_topology_spec(self.topology)

@@ -11,11 +11,23 @@ from .clustered import ClusteredGraph, Clustering
 from .critical import CriticalityAnalysis, analyze_criticality
 from .evaluate import Schedule, evaluate_assignment, total_time
 from .ideal import IdealSchedule, ideal_schedule, lower_bound
-from .incremental import CardinalityDelta, DeltaEvaluator, IncrementalEvaluator
+from .incremental import (
+    CardinalityDelta,
+    CommVolumeDelta,
+    DeltaEvaluator,
+    IncrementalEvaluator,
+)
 from .listsched import ListSchedule, bottom_levels, list_schedule
 from .initial import initial_assignment
 from .mapper import CriticalEdgeMapper, MappingResult, map_graph
 from .matrices import PaperMatrices, collect_matrices
+from .multilevel import (
+    MultilevelHierarchy,
+    MultilevelResult,
+    abstract_taskgraph,
+    build_hierarchy,
+    multilevel_map,
+)
 from .refine import (
     RefinementResult,
     critical_abstract_nodes,
@@ -31,6 +43,7 @@ __all__ = [
     "ClusteredGraph",
     "Clustering",
     "CardinalityDelta",
+    "CommVolumeDelta",
     "CriticalEdgeMapper",
     "CriticalityAnalysis",
     "DeltaEvaluator",
@@ -39,13 +52,17 @@ __all__ = [
     "IncrementalEvaluator",
     "ListSchedule",
     "MappingResult",
+    "MultilevelHierarchy",
+    "MultilevelResult",
     "PaperMatrices",
     "RefinementResult",
     "Schedule",
     "ScheduleViolation",
     "TaskGraph",
+    "abstract_taskgraph",
     "analyze_criticality",
     "bottom_levels",
+    "build_hierarchy",
     "collect_matrices",
     "communication_matrix",
     "critical_abstract_nodes",
@@ -55,6 +72,7 @@ __all__ = [
     "list_schedule",
     "lower_bound",
     "map_graph",
+    "multilevel_map",
     "refine_pairwise",
     "refine_random",
     "total_time",

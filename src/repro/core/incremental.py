@@ -42,7 +42,12 @@ from .assignment import Assignment
 from .clustered import ClusteredGraph
 from .evaluate import total_time
 
-__all__ = ["CardinalityDelta", "DeltaEvaluator", "IncrementalEvaluator"]
+__all__ = [
+    "CardinalityDelta",
+    "CommVolumeDelta",
+    "DeltaEvaluator",
+    "IncrementalEvaluator",
+]
 
 
 def _pair_swap_delta(
@@ -419,6 +424,84 @@ class IncrementalEvaluator(DeltaEvaluator):
         return self.total_time == total_time(
             self._clustered, self._system, self.assignment
         ) and super().verify()
+
+
+class CommVolumeDelta:
+    """Incremental hop-weighted communication volume under cluster swaps.
+
+    Maintains ``sum over cluster pairs {x, y} of w[x, y] *
+    dist(host(x), host(y))`` for a symmetric pairwise weight matrix and
+    answers swap deltas in O(deg(a) + deg(b)) — the same aggregate
+    :class:`DeltaEvaluator` tracks as ``comm_volume``, without any of
+    its schedule state.  This is the evaluator for search loops that
+    optimize communication volume alone (the multilevel refinement),
+    where paying for exact makespan repair on every commit would be
+    pure overhead.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        system: SystemGraph,
+        assignment: Assignment,
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.int64)
+        na = weights.shape[0]
+        if weights.ndim != 2 or weights.shape[1] != na:
+            raise MappingError(
+                f"pairwise weights must be square, got shape {weights.shape}"
+            )
+        if na != system.num_nodes:
+            raise MappingError(
+                f"{na} clusters cannot map onto {system.num_nodes} system nodes"
+            )
+        if assignment.size != na:
+            raise MappingError(
+                f"assignment covers {assignment.size} nodes, system has {na}"
+            )
+        self._dist = np.ascontiguousarray(system.shortest)
+        self._nbrs = [np.flatnonzero(weights[c]) for c in range(na)]
+        self._nbr_w = [weights[c, self._nbrs[c]] for c in range(na)]
+        self._placement = assignment.placement.copy()
+        self._assi = assignment.assi.copy()
+        iu = np.triu_indices(na, 1)
+        p = self._placement
+        self._volume = int((weights[iu] * self._dist[p[iu[0]], p[iu[1]]]).sum())
+
+    @property
+    def volume(self) -> int:
+        return self._volume
+
+    @property
+    def assignment(self) -> Assignment:
+        return Assignment.from_placement(self._placement)
+
+    def occupant(self, processor: int) -> int:
+        """Cluster currently hosted on ``processor``."""
+        return int(self._assi[processor])
+
+    def host(self, cluster: int) -> int:
+        """Processor currently hosting ``cluster``."""
+        return int(self._placement[cluster])
+
+    def delta_swap(self, cluster_a: int, cluster_b: int) -> int:
+        """Volume change if the two clusters swapped processors."""
+        if cluster_a == cluster_b:
+            return 0
+        return _pair_swap_delta(
+            self._placement, self._nbrs, self._nbr_w, self._dist, cluster_a, cluster_b
+        )
+
+    def swap(self, cluster_a: int, cluster_b: int) -> int:
+        """Commit a swap; returns the new volume."""
+        if cluster_a == cluster_b:
+            return self._volume
+        self._volume += self.delta_swap(cluster_a, cluster_b)
+        p = self._placement
+        pa, pb = int(p[cluster_a]), int(p[cluster_b])
+        p[cluster_a], p[cluster_b] = pb, pa
+        self._assi[pa], self._assi[pb] = self._assi[pb], self._assi[pa]
+        return self._volume
 
 
 class CardinalityDelta:
