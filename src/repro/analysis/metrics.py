@@ -9,6 +9,7 @@ paper's model) and are exact under it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -86,18 +87,27 @@ def compute_metrics(schedule: Schedule) -> ScheduleMetrics:
     )
 
 
-def format_metrics(metrics: ScheduleMetrics) -> str:
-    """One-fact-per-line report."""
-    return "\n".join(
-        [
-            f"makespan          : {metrics.makespan}",
-            f"total work        : {metrics.total_work}",
-            f"speedup           : {metrics.speedup:.2f}",
-            f"efficiency        : {metrics.efficiency:.2%}",
-            f"avg utilization   : {metrics.avg_utilization:.2%}",
-            f"load imbalance    : {metrics.load_imbalance:.2%}",
-            f"comm volume (hops): {metrics.comm_volume}",
-            f"comm / comp       : {metrics.comm_to_comp:.2f}",
-            f"stretched edges   : {metrics.stretched_edges}",
-        ]
-    )
+def format_metrics(
+    metrics: ScheduleMetrics, extra: Mapping[str, float] | None = None
+) -> str:
+    """One-fact-per-line report.
+
+    ``extra`` appends registry metrics (``repro.metrics``) to the report,
+    one aligned line per key.  Earlier versions silently dropped them,
+    so ``mimdmap map --metrics ...`` printed nothing for the very values
+    it was asked to compute.
+    """
+    lines = [
+        f"makespan          : {metrics.makespan}",
+        f"total work        : {metrics.total_work}",
+        f"speedup           : {metrics.speedup:.2f}",
+        f"efficiency        : {metrics.efficiency:.2%}",
+        f"avg utilization   : {metrics.avg_utilization:.2%}",
+        f"load imbalance    : {metrics.load_imbalance:.2%}",
+        f"comm volume (hops): {metrics.comm_volume}",
+        f"comm / comp       : {metrics.comm_to_comp:.2f}",
+        f"stretched edges   : {metrics.stretched_edges}",
+    ]
+    for key in sorted(extra or {}):
+        lines.append(f"{key:<18}: {float(extra[key]):g}")
+    return "\n".join(lines)

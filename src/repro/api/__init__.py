@@ -1,4 +1,4 @@
-"""Unified experiment API: four registries, one scenario spec, one sweep engine.
+"""Unified experiment API: five registries, one scenario spec, one sweep engine.
 
 Every axis of a mapping experiment is addressable by name through a
 :class:`~repro.api.registry.Registry`:
@@ -15,7 +15,13 @@ Every axis of a mapping experiment is addressable by name through a
   ``layered_random``, ``gnp``, ``fft``, ``cholesky``, ``lu``, ...);
 * **topologies** — system-graph families parsed from ``family:args``
   specs like ``"hypercube:3"`` or ``"torus2d:4x4"``
-  (``available_topologies()``).
+  (``available_topologies()``);
+* **metrics** — mapping-quality scores of a finished assignment, both
+  analytic (``comm_volume``, ``hop_bytes``, ``max_congestion``,
+  ``avg_dilation``) and simulator-backed (``sim_makespan``,
+  ``sim_max_link_utilization``, ``sim_fifo_stall_time``); see
+  :mod:`repro.metrics` (``available_metrics()``).  Scenarios request
+  them with ``metrics=[...]`` and sweeps record/aggregate them.
 
 One mapper on one instance::
 
@@ -107,13 +113,29 @@ from .sweep import (
     summarize_sweep,
 )
 
+# The metric axis lives in its own package (it depends on the simulator
+# stack); imported last so repro.api.registry is fully initialized first.
+from ..metrics import (  # noqa: E402
+    METRICS,
+    DuplicateMetricError,
+    Metric,
+    UnknownMetricError,
+    available_metrics,
+    evaluate_metrics,
+    get_metric,
+    register_metric,
+)
+
 __all__ = [
     "CLUSTERERS",
     "DuplicateComponentError",
     "DuplicateMapperError",
+    "DuplicateMetricError",
     "MAPPERS",
+    "METRICS",
     "MapOutcome",
     "Mapper",
+    "Metric",
     "ProblemInstance",
     "Registry",
     "RegistryError",
@@ -123,9 +145,11 @@ __all__ = [
     "TOPOLOGIES",
     "UnknownComponentError",
     "UnknownMapperError",
+    "UnknownMetricError",
     "WORKLOADS",
     "available_clusterers",
     "available_mappers",
+    "available_metrics",
     "available_topologies",
     "available_workloads",
     "build_topology",
@@ -133,11 +157,13 @@ __all__ = [
     "compare",
     "derive_run_seeds",
     "derive_seed",
+    "evaluate_metrics",
     "expand_spec",
     "format_comparison",
     "format_sweep",
     "get_clusterer",
     "get_mapper",
+    "get_metric",
     "get_workload",
     "iter_item_outcomes",
     "load_spec",
@@ -145,6 +171,7 @@ __all__ = [
     "parse_topology_spec",
     "register_clusterer",
     "register_mapper",
+    "register_metric",
     "register_topology",
     "register_workload",
     "registry_listing",

@@ -344,6 +344,11 @@ class MultilevelAdapter:
     refine_passes:
         KL/FM sweeps per level during uncoarsening (0 disables
         refinement; projection alone then decides the placement).
+    refine_metric:
+        Registry name of the analytic metric the refinement minimizes
+        (default ``"comm_volume"``, the historical objective; see
+        :func:`repro.core.multilevel.refine_metric`).  Simulator-backed
+        metrics are rejected eagerly.
     """
 
     def __init__(
@@ -353,6 +358,7 @@ class MultilevelAdapter:
         max_levels: int = 12,
         min_coarse_tasks: int = 8,
         refine_passes: int = 4,
+        refine_metric: str = "comm_volume",
     ) -> None:
         from .registry import get_mapper
 
@@ -364,11 +370,23 @@ class MultilevelAdapter:
             )
         if refine_passes < 0:
             raise MappingError(f"refine_passes must be >= 0, got {refine_passes}")
+        if refine_metric != "comm_volume":
+            # Validate eagerly, like the sub-mapper: unknown or
+            # simulator-backed objectives fail here, not mid-batch.
+            from ..metrics import METRICS
+
+            metric = METRICS.get(refine_metric)
+            if not getattr(metric, "analytic", False):
+                raise MappingError(
+                    f"refinement objective must be an analytic metric; "
+                    f"{refine_metric!r} is simulator-backed"
+                )
         self.initial = initial
         self.initial_params = dict(initial_params or {})
         self.max_levels = max_levels
         self.min_coarse_tasks = min_coarse_tasks
         self.refine_passes = refine_passes
+        self.refine_metric = refine_metric
         # Build the sub-mapper eagerly: unknown names and bad parameters
         # fail here, not in a worker process mid-batch.
         self._sub = get_mapper(initial, **self.initial_params)
@@ -395,6 +413,7 @@ class MultilevelAdapter:
                 max_levels=self.max_levels,
                 min_coarse_tasks=self.min_coarse_tasks,
                 refine_passes=self.refine_passes,
+                refine_metric=self.refine_metric,
                 rng=rng,
             )
             sub = sub_outcomes[0]
@@ -407,6 +426,16 @@ class MultilevelAdapter:
                 if result.coarsened
                 else sub.total_time
             )
+        extras = {
+            "levels": float(result.num_levels),
+            "coarsest_nodes": float(result.coarsest_nodes),
+            "refine_objective": float(result.comm_volume),
+            "refine_probes": float(result.refine_probes),
+            "refine_swaps": float(result.refine_swaps),
+        }
+        if self.refine_metric == "comm_volume":
+            # Historical key: the objective *is* the communication volume.
+            extras["comm_volume"] = float(result.comm_volume)
         return MapOutcome(
             mapper=self.name,
             assignment=result.assignment,
@@ -415,13 +444,7 @@ class MultilevelAdapter:
             evaluations=sub.evaluations + result.refine_probes,
             reached_lower_bound=time <= bound,
             wall_time=sw.elapsed,
-            extras={
-                "levels": float(result.num_levels),
-                "coarsest_nodes": float(result.coarsest_nodes),
-                "comm_volume": float(result.comm_volume),
-                "refine_probes": float(result.refine_probes),
-                "refine_swaps": float(result.refine_swaps),
-            },
+            extras=extras,
         )
 
 

@@ -143,6 +143,7 @@ def registry_listing(kind: str) -> dict[str, object]:
 
         {"kind": "mappers", "count": 8, "names": ["annealing", ...]}
     """
+    from ..metrics import METRICS
     from .registry import MAPPERS
 
     registries = {
@@ -150,6 +151,7 @@ def registry_listing(kind: str) -> dict[str, object]:
         "clusterers": CLUSTERERS,
         "workloads": WORKLOADS,
         "topologies": TOPOLOGIES,
+        "metrics": METRICS,
     }
     if kind not in registries:
         raise UnknownComponentError(

@@ -44,6 +44,12 @@ class MapOutcome:
     extras:
         Mapper-specific scalars (e.g. ``mean_total_time`` for the random
         baseline, ``cardinality`` for Bokhari).  Treat as read-only.
+    metrics:
+        Requested metric values (see :mod:`repro.metrics`): registry-
+        driven scores of the final assignment, keyed by metric output
+        name.  Empty unless a caller asked for metrics (the sweep's
+        ``metrics=[...]`` axis, the CLI's ``--metrics``).  Treat as
+        read-only.
     """
 
     mapper: str
@@ -54,6 +60,7 @@ class MapOutcome:
     reached_lower_bound: bool
     wall_time: float
     extras: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.lower_bound <= 0:

@@ -67,6 +67,12 @@ class Scenario:
         How many independently seeded repetitions the sweep runs.
     name:
         Optional label; :meth:`key` is the canonical identity either way.
+    metrics:
+        Metric specs (registry names, ``{"name", "params"}`` mappings, or
+        ``(name, params)`` pairs) evaluated on every run's final
+        assignment and recorded alongside the outcome (see
+        :mod:`repro.metrics`).  Empty = no extra metrics (the historical
+        behavior, and the historical :meth:`key`).
     """
 
     workload: str
@@ -79,6 +85,7 @@ class Scenario:
     seed: int = 0
     replicas: int = 1
     name: str = ""
+    metrics: Any = ()
 
     def __post_init__(self) -> None:
         for axis, registry in _AXIS_REGISTRIES.items():
@@ -115,20 +122,48 @@ class Scenario:
             raise ScenarioError(
                 f"scenario axis 'seed': must be an int, got {self.seed!r}"
             )
+        if isinstance(self.metrics, str):
+            raise ScenarioError(
+                "scenario axis 'metrics': expected a list of metric specs, "
+                f"got the bare string {self.metrics!r}; wrap it in a list"
+            )
+        if self.metrics:
+            # Deferred import: repro.metrics pulls in the simulator stack,
+            # which plain (metric-less) scenarios never need.
+            from ..metrics import build_metrics, normalize_metric_specs
+
+            try:
+                normalized = tuple(normalize_metric_specs(self.metrics))
+                build_metrics(normalized)  # eager param validation
+            except MappingError as exc:
+                raise ScenarioError(f"scenario axis 'metrics': {exc}") from None
+            object.__setattr__(self, "metrics", normalized)
+        else:
+            object.__setattr__(self, "metrics", ())
 
     # -- identity -------------------------------------------------------
 
     def key(self) -> str:
-        """Canonical identity string (stable across processes and runs)."""
-        return "/".join(
-            [
-                _axis_key("workload", self.workload, self.workload_params),
-                _axis_key("clustering", self.clustering, self.clustering_params),
-                f"topology={self.topology}",
-                _axis_key("mapper", self.mapper, self.mapper_params),
-                f"seed={self.seed}",
-            ]
-        )
+        """Canonical identity string (stable across processes and runs).
+
+        The ``metrics=`` segment appears only when metrics were
+        requested, so metric-less scenarios keep their historical keys
+        (resume checkpoints and service fingerprints stay valid).
+        """
+        parts = [
+            _axis_key("workload", self.workload, self.workload_params),
+            _axis_key("clustering", self.clustering, self.clustering_params),
+            f"topology={self.topology}",
+            _axis_key("mapper", self.mapper, self.mapper_params),
+        ]
+        if self.metrics:
+            from ..metrics import metric_label
+
+            parts.append(
+                "metrics=" + ",".join(metric_label(n, p) for n, p in self.metrics)
+            )
+        parts.append(f"seed={self.seed}")
+        return "/".join(parts)
 
     def label(self) -> str:
         """Human-facing name: the explicit ``name`` or a derived one."""
@@ -169,6 +204,11 @@ class Scenario:
                 out[axis] = dict(params)
         if self.name:
             out["name"] = self.name
+        if self.metrics:
+            out["metrics"] = [
+                name if not params else {"name": name, "params": dict(params)}
+                for name, params in self.metrics
+            ]
         return out
 
     @classmethod
@@ -214,6 +254,7 @@ class Scenario:
         seed: int = 0,
         replicas: int = 1,
         name: str = "",
+        metrics: object = (),
     ) -> list["Scenario"]:
         """Cross-product expansion: one scenario per axis combination.
 
@@ -221,7 +262,8 @@ class Scenario:
         is a registry name, a ``{"name": ..., "params": {...}}`` mapping
         (the JSON-spec form), or a ``(name, params)`` pair.  Expansion
         order is workload-major, then clustering, topology, mapper —
-        deterministic, so sweep resume files stay aligned.
+        deterministic, so sweep resume files stay aligned.  ``metrics``
+        (like ``seed``/``replicas``) applies to every produced scenario.
         """
         scenarios = []
         for w_name, w_params in _axis_choices("workload", workload):
@@ -246,6 +288,7 @@ class Scenario:
                                 seed=seed,
                                 replicas=replicas,
                                 name=name,
+                                metrics=metrics,
                             )
                         )
         return scenarios
@@ -257,16 +300,21 @@ def expand_spec(spec: Mapping[str, Any]) -> list[Scenario]:
     Two spec shapes are accepted (and may be combined):
 
     * ``{"grid": {"workload": [...], "topology": [...], ...},
-      "seed": 7, "replicas": 2}`` — cross product via :meth:`Scenario.grid`;
-    * ``{"scenarios": [{...}, {...}]}`` — explicit scenario dicts.
+      "seed": 7, "replicas": 2, "metrics": ["hop_bytes", ...]}`` — cross
+      product via :meth:`Scenario.grid` (``metrics`` applies to every
+      grid-produced scenario);
+    * ``{"scenarios": [{...}, {...}]}`` — explicit scenario dicts (which
+      carry their own ``"metrics"`` key if wanted).
     """
     if not isinstance(spec, Mapping):
         raise ScenarioError(f"a sweep spec must be a mapping, got {spec!r}")
-    unknown = sorted(set(spec) - {"grid", "scenarios", "seed", "replicas", "name"})
+    unknown = sorted(
+        set(spec) - {"grid", "scenarios", "seed", "replicas", "name", "metrics"}
+    )
     if unknown:
         raise ScenarioError(
             f"unknown sweep-spec key(s) {', '.join(map(repr, unknown))}; "
-            "expected 'grid', 'scenarios', 'seed', 'replicas', 'name'"
+            "expected 'grid', 'scenarios', 'seed', 'replicas', 'name', 'metrics'"
         )
     scenarios: list[Scenario] = []
     if "grid" in spec:
@@ -306,6 +354,7 @@ def expand_spec(spec: Mapping[str, Any]) -> list[Scenario]:
                 seed=seed,
                 replicas=replicas,
                 name=name,
+                metrics=spec.get("metrics", ()),
             )
         )
     for entry in spec.get("scenarios", ()):

@@ -142,10 +142,29 @@ def run_scenario_once(scenario: Scenario, replica: int = 0) -> MapOutcome:
     """Execute one (scenario, replica) run — the *single* definition of
     what a scenario run is, shared by the sweep engine and the service's
     async scenario jobs (whose cache fingerprints rely on both paths
-    producing bit-identical outcomes)."""
+    producing bit-identical outcomes).
+
+    When the scenario requests metrics, they are evaluated on the final
+    assignment here, so every consumer of a scenario run (sweep records,
+    service job results) sees the same ``outcome.metrics``."""
     instance, mapper_seed = build_scenario_instance(scenario, replica)
     mapper = get_mapper(scenario.mapper, **scenario.mapper_params)
-    return mapper.map(instance.clustered, instance.system, rng=mapper_seed)
+    outcome = mapper.map(instance.clustered, instance.system, rng=mapper_seed)
+    if scenario.metrics:
+        from dataclasses import replace
+
+        from ..metrics import evaluate_metrics
+
+        outcome = replace(
+            outcome,
+            metrics=evaluate_metrics(
+                instance.clustered,
+                instance.system,
+                outcome.assignment,
+                scenario.metrics,
+            ),
+        )
+    return outcome
 
 
 def _solve_run(item: _RunItem) -> MapOutcome:
@@ -254,7 +273,9 @@ def summarize_sweep(
     A block is one scenario *group* — same workload/clustering/topology/
     seed, different mappers — aggregated over replicas.  Each row dict
     carries the mapper label, replica count, mean total time, mean
-    percent-of-bound, and how many replicas hit the bound.
+    percent-of-bound, and how many replicas hit the bound; when records
+    carry requested metrics, the row gains a ``"metrics"`` dict of
+    per-key means over the replicas that reported them.
     """
     groups: dict[str, dict[str, list[dict[str, Any]]]] = {}
     order: list[str] = []
@@ -270,19 +291,26 @@ def summarize_sweep(
         for label, recs in groups[group].items():
             times = [r["outcome"]["total_time"] for r in recs]
             bounds = [r["outcome"]["lower_bound"] for r in recs]
-            rows.append(
-                {
-                    "mapper": label,
-                    "replicas": len(recs),
-                    "mean_total_time": float(np.mean(times)),
-                    "mean_percent_of_bound": float(
-                        np.mean([100.0 * t / b for t, b in zip(times, bounds)])
-                    ),
-                    "optimal": sum(
-                        r["outcome"]["reached_lower_bound"] for r in recs
-                    ),
+            row = {
+                "mapper": label,
+                "replicas": len(recs),
+                "mean_total_time": float(np.mean(times)),
+                "mean_percent_of_bound": float(
+                    np.mean([100.0 * t / b for t, b in zip(times, bounds)])
+                ),
+                "optimal": sum(
+                    r["outcome"]["reached_lower_bound"] for r in recs
+                ),
+            }
+            metric_values: dict[str, list[float]] = {}
+            for r in recs:
+                for k, v in r["outcome"].get("metrics", {}).items():
+                    metric_values.setdefault(k, []).append(float(v))
+            if metric_values:
+                row["metrics"] = {
+                    k: float(np.mean(vs)) for k, vs in sorted(metric_values.items())
                 }
-            )
+            rows.append(row)
         rows.sort(key=lambda row: row["mean_total_time"])
         summaries.append((group, rows))
     return summaries
@@ -296,6 +324,7 @@ def format_sweep(records: Sequence[dict[str, Any]]) -> str:
         raise ValueError("format_sweep needs at least one record")
     blocks = []
     for group, rows in summarize_sweep(records):
+        metric_keys = sorted({k for row in rows for k in row.get("metrics", {})})
         body = [
             [
                 row["mapper"],
@@ -303,11 +332,16 @@ def format_sweep(records: Sequence[dict[str, Any]]) -> str:
                 f"{row['mean_percent_of_bound']:.1f}%",
                 f"{row['optimal']}/{row['replicas']}",
             ]
+            + [
+                f"{row['metrics'][k]:g}" if k in row.get("metrics", {}) else "-"
+                for k in metric_keys
+            ]
             for row in rows
         ]
         blocks.append(
             render_table(
-                ["mapper", "mean total time", "% of bound", "optimal"],
+                ["mapper", "mean total time", "% of bound", "optimal"]
+                + metric_keys,
                 body,
                 title=group,
             )
@@ -331,7 +365,7 @@ def _make_record(
         if scenario.mapper_params
         else ""
     )
-    return {
+    record: dict[str, Any] = {
         "key": run_key(scenario, replica),
         "group": scenario.group_key(),
         "scenario": scenario.to_dict(),
@@ -350,6 +384,13 @@ def _make_record(
             "extras": {k: float(v) for k, v in sorted(outcome.extras.items())},
         },
     }
+    if outcome.metrics:
+        # Key present only when metrics were requested, keeping
+        # metric-less sweeps byte-identical to their historical records.
+        record["outcome"]["metrics"] = {
+            k: float(v) for k, v in sorted(outcome.metrics.items())
+        }
+    return record
 
 
 def _load_checkpoint(

@@ -10,10 +10,10 @@
     mimdmap ablations [--seed N]             # A1-A3, A5 summaries
     mimdmap matrices                         # Sec. 3 matrix dump for the example
     mimdmap sensitivity [--seed N]           # workload-knob sensitivity sweeps
-    mimdmap map --tasks N --topology F --size K [--mapper M]  # one-off mapping
+    mimdmap map --tasks N --topology F --size K [--mapper M] [--metrics a,b]
     mimdmap compare [--mappers a,b,...]      # all registered mappers, one instance
     mimdmap sweep SPEC.json [--workers N] [--out results.jsonl]  # scenario grid
-    mimdmap list {mappers,clusterers,workloads,topologies} [--json]  # registries
+    mimdmap list {mappers,clusterers,workloads,topologies,metrics} [--json]
     mimdmap serve [--port P] [--workers N] [--store F.jsonl]  # HTTP mapping service
     mimdmap --version
 
@@ -114,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="mapping algorithm (default: the paper's critical-edge strategy)",
     )
     p.add_argument("--gantt", action="store_true", help="print the schedule chart")
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated registry metrics to score the mapping with "
+        "(see 'mimdmap list metrics'), e.g. 'hop_bytes,sim_makespan'",
+    )
+    p.add_argument(
+        "--sim-gantt",
+        action="store_true",
+        help="simulate the mapping (serialized processors, link contention) "
+        "and print the simulator's chart",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the simulator's event trace as JSONL "
+        "(see repro.sim.read_trace_jsonl)",
+    )
 
     p = sub.add_parser(
         "compare", help="score every registered mapper on one random instance"
@@ -159,7 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list", help="list one registry's component names")
     p.add_argument(
         "axis",
-        choices=["mappers", "clusterers", "workloads", "topologies"],
+        choices=["mappers", "clusterers", "workloads", "topologies", "metrics"],
         help="which registry to list",
     )
     p.add_argument(
@@ -393,10 +413,26 @@ def _run_map(args: argparse.Namespace) -> None:
     from .analysis import compute_metrics, format_metrics, render_gantt
     from .api import solve_instance
     from .core import evaluate_assignment
+    from .utils import MappingError
 
     clustered, system = _build_instance(args)
     outcome = solve_instance(clustered, system, mapper=args.mapper, rng=args.seed)
     schedule = evaluate_assignment(clustered, system, outcome.assignment)
+
+    extra = None
+    if args.metrics is not None:
+        from .metrics import evaluate_metrics
+
+        specs = [name.strip() for name in args.metrics.split(",") if name.strip()]
+        if not specs:
+            raise _cli_error(
+                "map", "--metrics needs at least one metric name "
+                "(see 'mimdmap list metrics')"
+            )
+        try:
+            extra = evaluate_metrics(clustered, system, outcome.assignment, specs)
+        except MappingError as exc:
+            raise _cli_error("map", str(exc)) from None
 
     print(f"workload   : {clustered.graph}")
     print(f"machine    : {system}")
@@ -410,10 +446,34 @@ def _run_map(args: argparse.Namespace) -> None:
     )
     print(f"assignment : {outcome.assignment.assi.tolist()}")
     print()
-    print(format_metrics(compute_metrics(schedule)))
+    print(format_metrics(compute_metrics(schedule), extra=extra))
     if args.gantt:
         print()
         print(render_gantt(schedule, max_rows=60))
+    if args.sim_gantt or args.trace_out is not None:
+        from .analysis import render_sim_gantt
+        from .sim import SimConfig, simulate, write_trace_jsonl
+
+        config = SimConfig(serialize_processors=True, link_contention=True)
+        result = simulate(clustered, system, outcome.assignment, config=config)
+        if args.trace_out is not None:
+            try:
+                records = write_trace_jsonl(result, args.trace_out)
+            except OSError as exc:
+                raise _cli_error(
+                    "map",
+                    f"cannot write trace file {args.trace_out!r}: "
+                    f"{exc.strerror or exc}",
+                ) from None
+            print()
+            print(f"wrote {records} trace records to {args.trace_out}")
+        if args.sim_gantt:
+            print()
+            print(
+                render_sim_gantt(
+                    result, num_processors=system.num_nodes, max_rows=60
+                )
+            )
 
 
 def _run_compare(args: argparse.Namespace) -> None:

@@ -437,6 +437,12 @@ class CommVolumeDelta:
     optimize communication volume alone (the multilevel refinement),
     where paying for exact makespan repair on every commit would be
     pure overhead.
+
+    ``metric`` generalizes the pairwise matrix: by default it is the
+    topology's hop-distance matrix (the paper's objective), but any
+    symmetric ``ns x ns`` matrix works — the hook that lets registered
+    analytic metrics with a ``pair_matrix`` drive the same O(deg)
+    refinement loop.
     """
 
     def __init__(
@@ -444,6 +450,7 @@ class CommVolumeDelta:
         weights: np.ndarray,
         system: SystemGraph,
         assignment: Assignment,
+        metric: np.ndarray | None = None,
     ) -> None:
         weights = np.asarray(weights, dtype=np.int64)
         na = weights.shape[0]
@@ -459,7 +466,17 @@ class CommVolumeDelta:
             raise MappingError(
                 f"assignment covers {assignment.size} nodes, system has {na}"
             )
-        self._dist = np.ascontiguousarray(system.shortest)
+        if metric is None:
+            self._dist = np.ascontiguousarray(system.shortest)
+        else:
+            mat = np.asarray(metric)
+            if mat.ndim != 2 or mat.shape != (na, na):
+                raise MappingError(
+                    f"pair metric must be {na}x{na}, got shape {mat.shape}"
+                )
+            if not np.array_equal(mat, mat.T):
+                raise MappingError("pair metric matrix must be symmetric")
+            self._dist = np.ascontiguousarray(mat)
         self._nbrs = [np.flatnonzero(weights[c]) for c in range(na)]
         self._nbr_w = [weights[c, self._nbrs[c]] for c in range(na)]
         self._placement = assignment.placement.copy()

@@ -79,6 +79,7 @@ __all__ = [
     "multilevel_map",
     "project_assignment",
     "refine_comm_volume",
+    "refine_metric",
 ]
 
 
@@ -390,15 +391,33 @@ def refine_comm_volume(
         )
     sym = graph.prob_edge + graph.prob_edge.T
     evaluator = CommVolumeDelta(sym, system, assignment)
+    return _pairwise_sweep(sym, system, evaluator, passes)
+
+
+def _neighbor_lists(sym: np.ndarray) -> list[list[int]]:
+    """Per-node graph neighbors, heaviest edge first (ties by id)."""
+    out: list[list[int]] = []
+    for c in range(sym.shape[0]):
+        nbrs = np.flatnonzero(sym[c])
+        order = np.lexsort((nbrs, -sym[c, nbrs]))
+        out.append(nbrs[order].tolist())
+    return out
+
+
+def _pairwise_sweep(
+    sym: np.ndarray,
+    system: SystemGraph,
+    evaluator: CommVolumeDelta,
+    passes: int,
+) -> tuple[Assignment, int, int, int]:
+    """The KL/FM sweep of :func:`refine_comm_volume` over any
+    :class:`CommVolumeDelta` aggregate (default distances or a metric's
+    pair matrix)."""
+    n = sym.shape[0]
     if passes <= 0 or n < 2:
         return evaluator.assignment, evaluator.volume, 0, 0
 
-    neighbor_lists: list[list[int]] = []
-    for c in range(n):
-        nbrs = np.flatnonzero(sym[c])
-        order = np.lexsort((nbrs, -sym[c, nbrs]))
-        neighbor_lists.append(nbrs[order].tolist())
-
+    neighbor_lists = _neighbor_lists(sym)
     probes = swaps = 0
     for _ in range(passes):
         improved = False
@@ -423,20 +442,109 @@ def refine_comm_volume(
     return evaluator.assignment, evaluator.volume, probes, swaps
 
 
+def refine_metric(
+    graph: TaskGraph,
+    system: SystemGraph,
+    assignment: Assignment,
+    passes: int,
+    metric: str = "comm_volume",
+) -> tuple[Assignment, float, int, int]:
+    """:func:`refine_comm_volume` generalized to any registered analytic
+    metric as the objective.
+
+    ``metric="comm_volume"`` is the existing path, bit-identical to
+    :func:`refine_comm_volume`.  Other analytic metrics run the same
+    neighborhood sweep: metrics exposing a symmetric ``pair_matrix``
+    (e.g. ``hop_bytes`` on unit-weight machines) keep the O(deg) probes
+    on the :class:`~repro.core.incremental.CommVolumeDelta` aggregate;
+    anything else falls back to probing full metric evaluations on the
+    identity-clustered level graph.  Simulator-backed metrics are
+    rejected — a sweep probing thousands of swaps cannot afford a
+    simulation per probe.
+
+    Returns ``(assignment, objective_value, probes, swaps)`` where the
+    objective value is the metric's headline key on the final
+    assignment.
+    """
+    if metric == "comm_volume":
+        return refine_comm_volume(graph, system, assignment, passes)
+    from ..metrics import METRICS  # deferred: repro.metrics imports repro.api
+
+    m = METRICS.get(metric)
+    if not getattr(m, "analytic", False):
+        raise MappingError(
+            f"refinement objective must be an analytic metric; "
+            f"{metric!r} is simulator-backed"
+        )
+    n = graph.num_tasks
+    if n != system.num_nodes:
+        raise MappingError(
+            f"level graph has {n} nodes, system has {system.num_nodes}"
+        )
+    level = ClusteredGraph(graph, identity_clustering(n))
+    sym = graph.prob_edge + graph.prob_edge.T
+
+    pair_fn = getattr(m, "pair_matrix", None)
+    pair = pair_fn(system) if pair_fn is not None else None
+    if pair is not None:
+        evaluator = CommVolumeDelta(sym, system, assignment, metric=pair)
+        refined, _, probes, swaps = _pairwise_sweep(sym, system, evaluator, passes)
+        value = float(m.compute(level, system, refined)[metric])
+        return refined, value, probes, swaps
+
+    # Full-evaluation fallback: exact but O(metric) per probe.
+    current = assignment
+    value = float(m.compute(level, system, current)[metric])
+    if passes <= 0 or n < 2:
+        return current, value, 0, 0
+    neighbor_lists = _neighbor_lists(sym)
+    probes = swaps = 0
+    for _ in range(passes):
+        improved = False
+        for c in range(n):
+            for d in neighbor_lists[c]:
+                target_procs = system.neighbors(int(current.placement[d]))
+                committed = False
+                for q in target_procs.tolist():
+                    occupant = int(current.assi[q])
+                    if occupant == c:
+                        continue
+                    probes += 1
+                    candidate = current.swapped(c, occupant)
+                    cand_value = float(m.compute(level, system, candidate)[metric])
+                    if cand_value < value:
+                        current, value = candidate, cand_value
+                        swaps += 1
+                        improved = committed = True
+                        break
+                if committed:
+                    break
+        if not improved:
+            break
+    return current, value, probes, swaps
+
+
+# multilevel_map's ``refine_metric=`` keyword shadows the function above
+# inside its body; keep a module-level alias to call through.
+_refine_with_metric = refine_metric
+
+
 @dataclass(frozen=True)
 class MultilevelResult:
     """Outcome of :func:`multilevel_map`.
 
-    ``comm_volume`` is the hop-weighted communication volume of
-    ``assignment`` — exact for the original instance, because the
-    level-0 abstract graph carries the full inter-cluster weights.
+    ``comm_volume`` is the refinement objective's value on
+    ``assignment`` — the hop-weighted communication volume under the
+    default objective (exact for the original instance, because the
+    level-0 abstract graph carries the full inter-cluster weights), or
+    the chosen metric's headline value under ``refine_metric=...``.
     ``coarsened`` is False when the hierarchy collapsed to one level
     and the initial mapper ran on the original instance untouched.
     """
 
     assignment: Assignment
     hierarchy: MultilevelHierarchy
-    comm_volume: int
+    comm_volume: int | float
     refine_probes: int
     refine_swaps: int
 
@@ -460,6 +568,7 @@ def multilevel_map(
     max_levels: int = 12,
     min_coarse_tasks: int = 8,
     refine_passes: int = 4,
+    refine_metric: str = "comm_volume",
     rng=None,
 ) -> MultilevelResult:
     """Coarsen, map the coarsest level with ``initial_mapper``, uncoarsen.
@@ -472,6 +581,10 @@ def multilevel_map(
     receives the coarsest level graph under an identity clustering and
     the lockstep-coarsened machine, and the assignment is projected and
     refined level by level back to full resolution.
+
+    ``refine_metric`` selects the refinement objective by registry name;
+    any analytic metric is accepted (see :func:`refine_metric`, the
+    function this keyword shadows).
     """
     if refine_passes < 0:
         raise MappingError(f"refine_passes must be >= 0, got {refine_passes}")
@@ -479,8 +592,8 @@ def multilevel_map(
     levels = hierarchy.levels
     if len(levels) == 1:
         assignment = initial_mapper(clustered, system, rng)
-        _, volume, _, _ = refine_comm_volume(
-            levels[0].graph, levels[0].system, assignment, 0
+        _, volume, _, _ = _refine_with_metric(
+            levels[0].graph, levels[0].system, assignment, 0, refine_metric
         )
         return MultilevelResult(assignment, hierarchy, volume, 0, 0)
 
@@ -495,11 +608,11 @@ def multilevel_map(
             f"nodes, the coarsest level has {coarsest.graph.num_tasks}"
         )
     probes = swaps = 0
-    volume = 0
+    volume: int | float = 0
     for level in reversed(levels[:-1]):
         assignment = project_assignment(level, assignment)
-        assignment, volume, level_probes, level_swaps = refine_comm_volume(
-            level.graph, level.system, assignment, refine_passes
+        assignment, volume, level_probes, level_swaps = _refine_with_metric(
+            level.graph, level.system, assignment, refine_passes, refine_metric
         )
         probes += level_probes
         swaps += level_swaps

@@ -1,0 +1,61 @@
+"""Pluggable mapping-quality metrics: the fifth registry axis.
+
+Importing this package registers the built-in analytic metrics
+(``comm_volume``, ``hop_bytes``, ``max_congestion``, ``avg_dilation``)
+and the simulator-backed ones (``sim_makespan``,
+``sim_max_link_utilization``, ``sim_fifo_stall_time``).  See
+:mod:`repro.metrics.base` for the registry and the
+:class:`~repro.metrics.base.Metric` protocol.
+"""
+
+from .analytic import (
+    AvgDilationMetric,
+    CommVolumeMetric,
+    HopBytesMetric,
+    MaxCongestionMetric,
+    link_traffic,
+    processor_traffic_matrix,
+    task_hosts,
+)
+from .base import (
+    METRICS,
+    DuplicateMetricError,
+    Metric,
+    UnknownMetricError,
+    available_metrics,
+    build_metrics,
+    evaluate_metrics,
+    get_metric,
+    metric_label,
+    normalize_metric_specs,
+    register_metric,
+)
+from .simulated import (
+    SimFifoStallTimeMetric,
+    SimMakespanMetric,
+    SimMaxLinkUtilizationMetric,
+)
+
+__all__ = [
+    "METRICS",
+    "AvgDilationMetric",
+    "CommVolumeMetric",
+    "DuplicateMetricError",
+    "HopBytesMetric",
+    "MaxCongestionMetric",
+    "Metric",
+    "SimFifoStallTimeMetric",
+    "SimMakespanMetric",
+    "SimMaxLinkUtilizationMetric",
+    "UnknownMetricError",
+    "available_metrics",
+    "build_metrics",
+    "evaluate_metrics",
+    "get_metric",
+    "link_traffic",
+    "metric_label",
+    "normalize_metric_specs",
+    "processor_traffic_matrix",
+    "register_metric",
+    "task_hosts",
+]

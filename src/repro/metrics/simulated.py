@@ -1,0 +1,134 @@
+"""Simulator-backed metrics: scores read off a discrete-event execution.
+
+Each metric here runs :func:`repro.sim.engine.simulate` under a
+configurable :class:`~repro.sim.engine.SimConfig` and reports one field
+of the result.  Defaults model the *realistic* machine — serialized
+processors plus link contention — because that is where simulated scores
+separate mappings the analytic model ties: two placements with equal
+comm volume can queue very differently on a congested link.
+
+All metrics accept the engine's fidelity knobs as params
+(``serialize_processors``, ``link_contention``, ``link_setup``,
+``fifo_depth``), so a sweep can request e.g. ``{"name": "sim_makespan",
+"params": {"link_setup": 2}}``.  Metrics sharing a configuration within
+one :func:`~repro.metrics.base.evaluate_metrics` call share a single
+simulation via the memo protocol (``compute_memo``).
+
+These metrics set ``analytic = False`` and are rejected as refinement
+objectives — a KL/FM pass probing thousands of swaps cannot afford a
+simulation per probe.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.assignment import Assignment
+from ..core.clustered import ClusteredGraph
+from ..sim.engine import SimConfig, SimResult, simulate
+from ..topology.base import SystemGraph
+from .base import register_metric
+
+__all__ = [
+    "SimFifoStallTimeMetric",
+    "SimMakespanMetric",
+    "SimMaxLinkUtilizationMetric",
+]
+
+
+class _SimMetricBase:
+    """Shared plumbing: build a frozen SimConfig, memoize simulations."""
+
+    analytic = False
+
+    def __init__(
+        self,
+        serialize_processors: bool = True,
+        link_contention: bool = True,
+        link_setup: int = 0,
+        fifo_depth: int | None = None,
+    ) -> None:
+        self.config = SimConfig(
+            serialize_processors=serialize_processors,
+            link_contention=link_contention,
+            link_setup=link_setup,
+            fifo_depth=fifo_depth,
+        )
+
+    def _simulate(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        assignment: Assignment,
+        memo: dict[Any, Any] | None,
+    ) -> SimResult:
+        if memo is None:
+            return simulate(clustered, system, assignment, self.config)
+        result = memo.get(self.config)
+        if result is None:
+            result = simulate(clustered, system, assignment, self.config)
+            memo[self.config] = result
+        return result
+
+    def compute_memo(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        assignment: Assignment,
+        memo: dict[Any, Any] | None,
+    ) -> dict[str, float]:
+        result = self._simulate(clustered, system, assignment, memo)
+        return self._score(result)
+
+    def compute(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        assignment: Assignment,
+    ) -> dict[str, float]:
+        return self.compute_memo(clustered, system, assignment, None)
+
+    def _score(self, result: SimResult) -> dict[str, float]:
+        raise NotImplementedError
+
+
+@register_metric("sim_makespan")
+class SimMakespanMetric(_SimMetricBase):
+    """Makespan of the simulated execution."""
+
+    def _score(self, result: SimResult) -> dict[str, float]:
+        return {"sim_makespan": float(result.makespan)}
+
+
+@register_metric("sim_max_link_utilization")
+class SimMaxLinkUtilizationMetric(_SimMetricBase):
+    """Peak directed-link utilization (busy time / makespan)."""
+
+    def _score(self, result: SimResult) -> dict[str, float]:
+        return {"sim_max_link_utilization": float(result.max_link_utilization)}
+
+
+@register_metric("sim_fifo_stall_time")
+class SimFifoStallTimeMetric(_SimMetricBase):
+    """Total backpressure stall time at finite link FIFOs.
+
+    Defaults to ``fifo_depth=1`` (the tightest FIFO) because unbounded
+    queues never stall; pass ``fifo_depth`` explicitly for deeper ones.
+    """
+
+    def __init__(
+        self,
+        serialize_processors: bool = True,
+        link_contention: bool = True,
+        link_setup: int = 0,
+        fifo_depth: int | None = 1,
+    ) -> None:
+        super().__init__(
+            serialize_processors=serialize_processors,
+            link_contention=link_contention,
+            link_setup=link_setup,
+            fifo_depth=fifo_depth,
+        )
+
+    def _score(self, result: SimResult) -> dict[str, float]:
+        return {"sim_fifo_stall_time": float(result.fifo_stall_time)}

@@ -32,7 +32,7 @@ __all__ = ["ResultStore", "outcome_from_dict", "outcome_to_dict"]
 
 def outcome_to_dict(outcome: MapOutcome) -> dict[str, Any]:
     """Lossless plain-dict form of a :class:`MapOutcome`."""
-    return {
+    data = {
         "mapper": outcome.mapper,
         "assignment": [int(p) for p in outcome.assignment.assi.tolist()],
         "total_time": int(outcome.total_time),
@@ -42,6 +42,9 @@ def outcome_to_dict(outcome: MapOutcome) -> dict[str, Any]:
         "wall_time": float(outcome.wall_time),
         "extras": {k: float(v) for k, v in sorted(outcome.extras.items())},
     }
+    if outcome.metrics:
+        data["metrics"] = {k: float(v) for k, v in sorted(outcome.metrics.items())}
+    return data
 
 
 def outcome_from_dict(data: dict[str, Any]) -> MapOutcome:
@@ -58,6 +61,7 @@ def outcome_from_dict(data: dict[str, Any]) -> MapOutcome:
             reached_lower_bound=bool(data["reached_lower_bound"]),
             wall_time=float(data["wall_time"]),
             extras={k: float(v) for k, v in data.get("extras", {}).items()},
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise MappingError(f"malformed stored outcome: {exc}") from None

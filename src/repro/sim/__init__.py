@@ -2,18 +2,35 @@
 
 from .engine import SimConfig, SimResult, simulate
 from .events import Event, EventKind, EventQueue
-from .machine import MimdMachine
-from .trace import SimTrace, TaskRecord, TransferRecord
+from .machine import LinkGrant, MimdMachine, route_between, routing_table
+from .trace import (
+    LoadedSimTrace,
+    SimTrace,
+    StallRecord,
+    TaskRecord,
+    TransferRecord,
+    read_trace_jsonl,
+    trace_records,
+    write_trace_jsonl,
+)
 
 __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "LinkGrant",
+    "LoadedSimTrace",
     "MimdMachine",
     "SimConfig",
     "SimResult",
     "SimTrace",
+    "StallRecord",
     "TaskRecord",
     "TransferRecord",
+    "read_trace_jsonl",
+    "route_between",
+    "routing_table",
     "simulate",
+    "trace_records",
+    "write_trace_jsonl",
 ]

@@ -19,6 +19,11 @@ model's assumptions can be relaxed one at a time:
   a fixed startup latency on top of the weight-proportional transfer
   time (``hop time = link_setup + weight``).  The paper's model is
   ``link_setup == 0``.
+* ``fifo_depth=D`` (requires ``link_contention``) — each directed link
+  owns a finite FIFO of ``D`` slots shared by queued and transmitting
+  messages; a message arriving at a full FIFO *stalls at the sending
+  node* (backpressure) until the oldest slot-holder drains.  Stall time
+  is accounted per link and totalled in ``SimResult.fifo_stall_time``.
 
 All relaxations can only delay events, so the simulated makespan is
 always >= the analytic one — another tested invariant.  Ablation A4
@@ -38,7 +43,7 @@ from ..topology.base import SystemGraph
 from ..utils import MappingError
 from .events import EventKind, EventQueue
 from .machine import MimdMachine
-from .trace import SimTrace, TaskRecord, TransferRecord
+from .trace import SimTrace, StallRecord, TaskRecord, TransferRecord
 
 __all__ = ["SimConfig", "SimResult", "simulate"]
 
@@ -50,10 +55,16 @@ class SimConfig:
     serialize_processors: bool = False
     link_contention: bool = False
     link_setup: int = 0
+    fifo_depth: int | None = None
 
     def __post_init__(self) -> None:
         if self.link_setup < 0:
             raise ValueError("link_setup must be >= 0")
+        if self.fifo_depth is not None:
+            if self.fifo_depth < 1:
+                raise ValueError("fifo_depth must be >= 1")
+            if not self.link_contention:
+                raise ValueError("fifo_depth requires link_contention=True")
 
     def describe(self) -> str:
         parts = []
@@ -61,6 +72,8 @@ class SimConfig:
         parts.append("contention" if self.link_contention else "contention-free")
         if self.link_setup:
             parts.append(f"setup={self.link_setup}")
+        if self.fifo_depth is not None:
+            parts.append(f"fifo={self.fifo_depth}")
         return "+".join(parts)
 
 
@@ -74,6 +87,8 @@ class SimResult:
     makespan: int
     trace: SimTrace
     max_link_utilization: float
+    fifo_stall_time: int = 0
+    max_queue_depth: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -106,7 +121,7 @@ def simulate(
     n = graph.num_tasks
     labels = clustered.clustering.labels
     host = assignment.placement[labels]  # processor per task
-    machine = MimdMachine(system)
+    machine = MimdMachine(system, fifo_depth=config.fifo_depth)
     machine.reset_links()
 
     queue = EventQueue()
@@ -150,7 +165,18 @@ def simulate(
         b = msg.route[msg.hop_index + 1]
         duration = config.link_setup + msg.weight * int(system.link_weights[a, b])
         if config.link_contention:
-            begin = machine.acquire_link(a, b, time, duration)
+            grant = machine.acquire(a, b, time, duration)
+            begin = grant.start
+            if grant.stall:
+                trace.stalls.append(
+                    StallRecord(
+                        src_task=msg.src_task,
+                        dst_task=msg.dst_task,
+                        link=(a, b),
+                        start=time,
+                        end=grant.enqueue,
+                    )
+                )
         else:
             begin = time
             machine.acquire_link(a, b, time, duration)  # stats only
@@ -218,4 +244,6 @@ def simulate(
         makespan=makespan,
         trace=trace,
         max_link_utilization=machine.max_link_utilization(makespan),
+        fifo_stall_time=machine.fifo_stall_time(),
+        max_queue_depth=machine.max_queue_depth(),
     )

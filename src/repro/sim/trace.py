@@ -1,15 +1,39 @@
 """Execution traces produced by the simulator.
 
-Plain records — one per task execution and one per link traversal — that
-downstream tooling (Gantt rendering, utilization stats, debugging) can
-consume without touching engine internals.
+Plain records — one per task execution, one per link traversal, one per
+backpressure stall — that downstream tooling (Gantt rendering,
+utilization stats, debugging) can consume without touching engine
+internals.
+
+Traces also round-trip through canonical JSONL (:mod:`repro.io.jsonl`):
+:func:`write_trace_jsonl` serializes a :class:`~repro.sim.engine.SimResult`
+as a header record plus one record per trace row, and
+:func:`read_trace_jsonl` loads it back as a :class:`LoadedSimTrace` —
+duck-type compatible with :func:`repro.analysis.gantt.render_sim_gantt`,
+so an exported simulated schedule renders identically to a live one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
-__all__ = ["TaskRecord", "TransferRecord", "SimTrace"]
+from ..utils import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import SimResult
+
+__all__ = [
+    "LoadedSimTrace",
+    "SimTrace",
+    "StallRecord",
+    "TaskRecord",
+    "TransferRecord",
+    "read_trace_jsonl",
+    "trace_records",
+    "write_trace_jsonl",
+]
 
 
 @dataclass(frozen=True)
@@ -33,12 +57,29 @@ class TransferRecord:
     end: int
 
 
+@dataclass(frozen=True)
+class StallRecord:
+    """One backpressure wait at a full link FIFO.
+
+    The message for ``src_task -> dst_task`` wanted ``link`` at ``start``
+    but only obtained a FIFO slot at ``end``; the difference is the stall
+    charged to the sending node.
+    """
+
+    src_task: int
+    dst_task: int
+    link: tuple[int, int]
+    start: int
+    end: int
+
+
 @dataclass
 class SimTrace:
     """Everything that happened during a run, in completion order."""
 
     tasks: list[TaskRecord] = field(default_factory=list)
     transfers: list[TransferRecord] = field(default_factory=list)
+    stalls: list[StallRecord] = field(default_factory=list)
 
     def tasks_by_processor(self) -> dict[int, list[TaskRecord]]:
         """Task records grouped by processor, ordered by start time."""
@@ -53,12 +94,172 @@ class SimTrace:
         """The directed link with the most cumulative transfer time."""
         if not self.transfers:
             return None
+        totals = self.link_busy_time()
+        link = max(totals, key=lambda k: (totals[k], k))
+        return link, totals[link]
+
+    def link_busy_time(self) -> dict[tuple[int, int], int]:
+        """Cumulative transfer time per directed link."""
         totals: dict[tuple[int, int], int] = {}
         for rec in self.transfers:
             totals[rec.link] = totals.get(rec.link, 0) + (rec.end - rec.start)
-        link = max(totals, key=lambda k: (totals[k], k))
-        return link, totals[link]
+        return totals
 
     def total_transfer_time(self) -> int:
         """Sum of all per-hop transfer durations (hop-weighted volume)."""
         return sum(rec.end - rec.start for rec in self.transfers)
+
+    def total_stall_time(self) -> int:
+        """Sum of all backpressure stall durations."""
+        return sum(rec.end - rec.start for rec in self.stalls)
+
+
+# ----------------------------------------------------------------------
+# JSONL export / import
+
+
+@dataclass(frozen=True)
+class LoadedSimTrace:
+    """A simulation result reloaded from its JSONL trace.
+
+    Carries the summary fields of the originating
+    :class:`~repro.sim.engine.SimResult` (the config only as its
+    ``describe()`` string) plus the full trace; exposes ``.trace`` and
+    ``.makespan``, the two attributes the Gantt renderer consumes, so a
+    loaded trace renders exactly like the live result it was dumped from.
+    """
+
+    config: str
+    makespan: int
+    max_link_utilization: float
+    fifo_stall_time: int
+    max_queue_depth: int
+    trace: SimTrace
+
+
+def trace_records(result: "SimResult") -> list[dict[str, Any]]:
+    """The canonical JSONL records of ``result``: header, then trace rows.
+
+    Rows are emitted in trace order (completion order), one object per
+    task/transfer/stall record, each tagged with a ``"record"`` kind.
+    """
+    records: list[dict[str, Any]] = [
+        {
+            "record": "header",
+            "config": result.config.describe(),
+            "makespan": int(result.makespan),
+            "max_link_utilization": float(result.max_link_utilization),
+            "fifo_stall_time": int(result.fifo_stall_time),
+            "max_queue_depth": int(result.max_queue_depth),
+        }
+    ]
+    for task in result.trace.tasks:
+        records.append(
+            {
+                "record": "task",
+                "task": task.task,
+                "processor": task.processor,
+                "start": task.start,
+                "end": task.end,
+            }
+        )
+    for xfer in result.trace.transfers:
+        records.append(
+            {
+                "record": "transfer",
+                "src_task": xfer.src_task,
+                "dst_task": xfer.dst_task,
+                "link": list(xfer.link),
+                "start": xfer.start,
+                "end": xfer.end,
+            }
+        )
+    for stall in result.trace.stalls:
+        records.append(
+            {
+                "record": "stall",
+                "src_task": stall.src_task,
+                "dst_task": stall.dst_task,
+                "link": list(stall.link),
+                "start": stall.start,
+                "end": stall.end,
+            }
+        )
+    return records
+
+
+def write_trace_jsonl(result: "SimResult", path: str | Path) -> int:
+    """Dump ``result`` to ``path`` as canonical JSONL; returns record count."""
+    from ..io.jsonl import write_record
+
+    records = trace_records(result)
+    with Path(path).open("w") as fh:
+        for record in records:
+            write_record(fh, record)
+    return len(records)
+
+
+def read_trace_jsonl(path: str | Path) -> LoadedSimTrace:
+    """Load a trace dumped by :func:`write_trace_jsonl`.
+
+    Raises :class:`GraphError` on files that are not a trace stream
+    (missing/duplicate header, unknown record kind, missing fields).
+    """
+    from ..io.jsonl import read_jsonl
+
+    try:
+        records = read_jsonl(path)
+    except OSError as exc:
+        raise GraphError(f"cannot read trace file {path}: {exc}") from None
+    if not records or records[0].get("record") != "header":
+        raise GraphError(f"{path}: not a simulation trace (missing header record)")
+    header = records[0]
+    trace = SimTrace()
+    try:
+        for record in records[1:]:
+            kind = record.get("record")
+            if kind == "task":
+                trace.tasks.append(
+                    TaskRecord(
+                        task=int(record["task"]),
+                        processor=int(record["processor"]),
+                        start=int(record["start"]),
+                        end=int(record["end"]),
+                    )
+                )
+            elif kind == "transfer":
+                a, b = record["link"]
+                trace.transfers.append(
+                    TransferRecord(
+                        src_task=int(record["src_task"]),
+                        dst_task=int(record["dst_task"]),
+                        link=(int(a), int(b)),
+                        start=int(record["start"]),
+                        end=int(record["end"]),
+                    )
+                )
+            elif kind == "stall":
+                a, b = record["link"]
+                trace.stalls.append(
+                    StallRecord(
+                        src_task=int(record["src_task"]),
+                        dst_task=int(record["dst_task"]),
+                        link=(int(a), int(b)),
+                        start=int(record["start"]),
+                        end=int(record["end"]),
+                    )
+                )
+            elif kind == "header":
+                raise GraphError(f"{path}: duplicate header record")
+            else:
+                raise GraphError(f"{path}: unknown trace record kind {kind!r}")
+        return LoadedSimTrace(
+            config=str(header["config"]),
+            makespan=int(header["makespan"]),
+            max_link_utilization=float(header["max_link_utilization"]),
+            fifo_stall_time=int(header.get("fifo_stall_time", 0)),
+            max_queue_depth=int(header.get("max_queue_depth", 0)),
+            trace=trace,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"{path}: malformed trace record: {exc}") from exc

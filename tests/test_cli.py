@@ -221,6 +221,7 @@ class TestSweepAndList:
             ("clusterers", "dsc"),
             ("workloads", "layered_random"),
             ("topologies", "torus2d"),
+            ("metrics", "sim_makespan"),
         ],
     )
     def test_list_axes(self, capsys, axis, expect):
@@ -342,3 +343,72 @@ class TestServeValidation:
             main(["serve", "--port", "70000"])
         assert exc_info.value.code == 2
         assert "--port" in capsys.readouterr().err
+
+
+class TestMapMetricsFlags:
+    """`map --metrics / --sim-gantt / --trace-out` (the metrics front end)."""
+
+    ARGS = ["map", "--tasks", "16", "--topology", "hypercube", "--size", "4",
+            "--seed", "3"]
+
+    def test_metrics_lines_in_report(self, capsys):
+        assert main(self.ARGS + ["--metrics", "hop_bytes,sim_makespan"]) == 0
+        out = capsys.readouterr().out
+        assert "hop_bytes" in out
+        assert "sim_makespan" in out
+
+    def test_unknown_metric_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--metrics", "hop_byte"])
+        assert excinfo.value.code == 2
+        assert "did you mean 'hop_bytes'" in capsys.readouterr().err
+
+    def test_empty_metric_list_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--metrics", " , "])
+        assert excinfo.value.code == 2
+        assert "at least one metric" in capsys.readouterr().err
+
+    def test_sim_gantt_and_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.ARGS + ["--sim-gantt", "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace records" in out
+        assert "total time" in out  # the simulator chart footer
+        from repro.sim import read_trace_jsonl
+
+        loaded = read_trace_jsonl(trace)
+        assert loaded.config == "serialized+contention"
+        assert loaded.makespan > 0
+
+    def test_unwritable_trace_path_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--trace-out", str(tmp_path / "no" / "dir.jsonl")])
+        assert excinfo.value.code == 2
+        assert "cannot write trace file" in capsys.readouterr().err
+
+    def test_sweep_spec_with_metrics_records_them(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "grid": {
+                        "workload": {"name": "fft", "params": {"points_log2": 2}},
+                        "topology": "hypercube:2",
+                        "mapper": ["critical", "random"],
+                    },
+                    "seed": 5,
+                    "metrics": ["hop_bytes", "max_congestion"],
+                }
+            )
+        )
+        out = tmp_path / "results.jsonl"
+        assert main(["sweep", str(spec), "--out", str(out), "--quiet"]) == 0
+        printed = capsys.readouterr().out
+        assert "hop_bytes" in printed  # metric columns in the aggregate table
+        from repro.io import read_jsonl
+
+        records = read_jsonl(out)
+        assert all("metrics" in r["outcome"] for r in records)

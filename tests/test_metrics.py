@@ -69,3 +69,16 @@ class TestMetrics:
         text = format_metrics(compute_metrics(schedule))
         assert "makespan          : 10" in text
         assert "speedup" in text
+
+    def test_format_appends_extra_metric_lines(self, diamond_clustered):
+        """Regression: requested registry metrics used to be dropped from
+        the report; they must appear as aligned lines after the built-ins."""
+        schedule = evaluate_assignment(
+            diamond_clustered, complete(4), Assignment.identity(4)
+        )
+        m = compute_metrics(schedule)
+        text = format_metrics(m, extra={"sim_makespan": 12.0, "hop_bytes": 6.0})
+        lines = text.splitlines()
+        assert lines[-2] == "hop_bytes         : 6"
+        assert lines[-1] == "sim_makespan      : 12"
+        assert format_metrics(m, extra={}) == format_metrics(m)

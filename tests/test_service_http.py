@@ -66,7 +66,7 @@ class TestRoutes:
         assert "cache" in payload and "jobs" in payload
 
     @pytest.mark.parametrize(
-        "kind", ["mappers", "clusterers", "workloads", "topologies"]
+        "kind", ["mappers", "clusterers", "workloads", "topologies", "metrics"]
     )
     def test_registries_match_cli_serialization(self, server, kind):
         status, payload = request(server, f"/registries/{kind}")

@@ -10,7 +10,15 @@ from repro.core import (
     TaskGraph,
     evaluate_assignment,
 )
-from repro.sim import EventKind, EventQueue, MimdMachine, SimConfig, simulate
+from repro.sim import (
+    EventKind,
+    EventQueue,
+    MimdMachine,
+    SimConfig,
+    read_trace_jsonl,
+    simulate,
+    write_trace_jsonl,
+)
 from repro.topology import chain, complete, hypercube, ring
 from tests.conftest import random_instance
 
@@ -201,3 +209,124 @@ class TestEngineCorrectness:
 
         with pytest.raises(MappingError):
             simulate(diamond_clustered, ring(5), Assignment.identity(5))
+
+
+class TestFifoBackpressure:
+    def _bottleneck(self):
+        """A fork that funnels four messages through the single 0-1 link."""
+        g = TaskGraph(
+            [1, 1, 1, 1, 1, 1],
+            [(0, 5, 4), (1, 5, 4), (2, 5, 4), (3, 5, 4), (4, 5, 1)],
+        )
+        cg = ClusteredGraph(g, Clustering([0, 0, 0, 0, 0, 1]))
+        system = chain(2)
+        return cg, system, Assignment.identity(2)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(link_contention=True, fifo_depth=0)
+        with pytest.raises(ValueError):
+            SimConfig(fifo_depth=1)  # FIFO depth needs link contention
+        with pytest.raises(ValueError):
+            MimdMachine(chain(2), fifo_depth=0)
+
+    def test_grant_semantics_hand_checked(self):
+        m = MimdMachine(chain(2), fifo_depth=1)
+        first = m.acquire(0, 1, request_time=0, duration=5)
+        assert (first.enqueue, first.start, first.end) == (0, 0, 5)
+        assert not first.stall
+        second = m.acquire(0, 1, request_time=0, duration=5)
+        # The one-slot queue is full until t=5, so the sender stalls.
+        assert second.stall
+        assert (second.enqueue, second.start, second.end) == (5, 5, 10)
+        assert m.fifo_stall_time() == 5
+        assert m.max_queue_depth() <= 1
+
+    def test_unbounded_queue_never_stalls(self):
+        m = MimdMachine(chain(2))
+        for _ in range(8):
+            grant = m.acquire(0, 1, request_time=0, duration=3)
+            assert not grant.stall
+        assert m.fifo_stall_time() == 0
+        assert m.max_queue_depth() == 8
+
+    def test_bottleneck_records_stalls(self):
+        cg, system, a = self._bottleneck()
+        free = simulate(cg, system, a, SimConfig(link_contention=True))
+        tight = simulate(
+            cg, system, a, SimConfig(link_contention=True, fifo_depth=1)
+        )
+        assert tight.fifo_stall_time > 0
+        assert tight.trace.stalls
+        assert tight.fifo_stall_time == tight.trace.total_stall_time()
+        assert tight.makespan >= free.makespan
+        assert tight.max_queue_depth <= 1
+        for rec in tight.trace.stalls:
+            assert rec.end > rec.start
+            assert rec.link == (0, 1)
+
+    def test_fifo_never_beats_unbounded(self):
+        for seed in range(4):
+            clustered, system = random_instance(seed)
+            a = Assignment.random(system.num_nodes, rng=seed)
+            free = simulate(
+                clustered, system, a, SimConfig(True, True)
+            ).makespan
+            for depth in (1, 2, 4):
+                tight = simulate(
+                    clustered,
+                    system,
+                    a,
+                    SimConfig(True, True, fifo_depth=depth),
+                )
+                assert tight.makespan >= free
+                assert tight.max_queue_depth <= depth
+
+    def test_describe_includes_depth(self):
+        cfg = SimConfig(link_contention=True, fifo_depth=2)
+        assert "fifo=2" in cfg.describe()
+
+
+class TestTraceJsonl:
+    def _result(self, seed=3, **cfg):
+        clustered, system = random_instance(seed)
+        a = Assignment.random(system.num_nodes, rng=seed)
+        config = SimConfig(**cfg) if cfg else SimConfig(True, True, fifo_depth=1)
+        return simulate(clustered, system, a, config)
+
+    def test_round_trip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(result, path)
+        assert count == sum(path.read_text().count("\n") for _ in [0])
+        loaded = read_trace_jsonl(path)
+        assert loaded.trace == result.trace
+        assert loaded.makespan == result.makespan
+        assert loaded.fifo_stall_time == result.fifo_stall_time
+        assert loaded.max_queue_depth == result.max_queue_depth
+        assert loaded.config == result.config.describe()
+
+    def test_rendered_gantt_identical(self, tmp_path):
+        from repro.analysis import render_sim_gantt
+
+        result = self._result(seed=4, serialize_processors=True)
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(result, path)
+        loaded = read_trace_jsonl(path)
+        assert render_sim_gantt(loaded) == render_sim_gantt(result)
+
+    def test_missing_file_and_malformed_records(self, tmp_path):
+        from repro.utils import GraphError
+
+        with pytest.raises(GraphError):
+            read_trace_jsonl(tmp_path / "nope.jsonl")
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "task", "task": 0}\n')  # no header
+        with pytest.raises(GraphError, match="header"):
+            read_trace_jsonl(path)
+        result = self._result()
+        write_trace_jsonl(result, path)
+        with path.open("a") as fh:
+            fh.write('{"record": "mystery"}\n')
+        with pytest.raises(GraphError, match="mystery"):
+            read_trace_jsonl(path)
