@@ -400,7 +400,11 @@ class MultilevelAdapter:
         bound = ideal_schedule(clustered).total_time
         sub_outcomes: list[MapOutcome] = []
 
-        def initial_mapper(coarse_clustered, coarse_system, coarse_rng):
+        def initial_mapper(
+            coarse_clustered: ClusteredGraph,
+            coarse_system: SystemGraph,
+            coarse_rng: int | np.random.Generator | None,
+        ) -> object:
             outcome = self._sub.map(coarse_clustered, coarse_system, rng=coarse_rng)
             sub_outcomes.append(outcome)
             return outcome.assignment

@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 import zlib
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
 from dataclasses import dataclass
 
 import numpy as np
@@ -111,10 +112,10 @@ def _solve_item(item: _WorkItem) -> MapOutcome:
 
 
 def iter_item_outcomes(
-    items: Sequence,
+    items: Sequence[Any],
     max_workers: int | None,
-    solve: Callable = _solve_item,
-    service=None,
+    solve: Callable[[Any], MapOutcome] = _solve_item,
+    service: Any = None,
 ) -> Iterator[tuple[object, MapOutcome]]:
     """Yield ``(item, solve(item))`` pairs as work completes.
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import functools
 import inspect
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -90,12 +90,12 @@ WORKLOADS = Registry("workload")
 TOPOLOGIES = Registry("topology")
 
 
-def register_clusterer(name: str) -> Callable:
+def register_clusterer(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a :class:`~repro.clustering.Clusterer` factory under ``name``."""
     return CLUSTERERS.register(name)
 
 
-def register_workload(name: str) -> Callable:
+def register_workload(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a task-graph generator under ``name``.
 
     The generator is wrapped so it uniformly accepts an ``rng`` keyword
@@ -109,7 +109,7 @@ def register_workload(name: str) -> Callable:
     return decorate
 
 
-def register_topology(name: str) -> Callable:
+def register_topology(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a system-graph builder under ``name`` (see :func:`build_topology`)."""
 
     def decorate(func: Callable[..., SystemGraph]) -> Callable[..., SystemGraph]:
@@ -233,13 +233,13 @@ def build_topology(
         ) from None
 
 
-def _with_uniform_rng(func: Callable) -> Callable:
+def _with_uniform_rng(func: Callable[..., Any]) -> Callable[..., Any]:
     """Wrap a generator so it accepts ``rng`` whether or not it uses it."""
     if "rng" in inspect.signature(func).parameters:
         return func
 
     @functools.wraps(func)
-    def build(*args: object, rng: object = None, **kwargs: object):
+    def build(*args: object, rng: object = None, **kwargs: object) -> Any:
         return func(*args, **kwargs)
 
     return build

@@ -22,7 +22,7 @@ imports.
 from __future__ import annotations
 
 import difflib
-from typing import Callable, Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -113,7 +113,7 @@ class Registry:
         self.kind = kind
         self._duplicate_error = duplicate_error
         self._unknown_error = unknown_error
-        self._factories: dict[str, Callable] = {}
+        self._factories: dict[str, Callable[..., Any]] = {}
 
     def validate_name(self, name: str) -> None:
         """Reject anything but a lowercase identifier, uniformly."""
@@ -122,7 +122,9 @@ class Registry:
                 f"{self.kind} names must be lowercase identifiers, got {name!r}"
             )
 
-    def register(self, name: str) -> Callable[[Callable], Callable]:
+    def register(
+        self, name: str
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
         """Decorator registering a factory under ``name``.
 
         Class factories gain a ``name`` attribute (the :class:`Mapper`
@@ -130,24 +132,24 @@ class Registry:
         """
         self.validate_name(name)
 
-        def decorate(factory: Callable) -> Callable:
+        def decorate(factory: Callable[..., Any]) -> Callable[..., Any]:
             if name in self._factories:
                 raise self._duplicate_error(
                     f"{self.kind} {name!r} is already registered "
                     f"(by {self._factories[name].__qualname__})"
                 )
             if isinstance(factory, type):
-                factory.name = name
+                factory.name = name  # type: ignore[attr-defined]
             self._factories[name] = factory
             return factory
 
         return decorate
 
-    def get(self, name: str, **params: object):
+    def get(self, name: str, **params: object) -> Any:
         """Instantiate the component registered under ``name`` with ``params``."""
         return self.factory(name)(**params)
 
-    def factory(self, name: str) -> Callable:
+    def factory(self, name: str) -> Callable[..., Any]:
         """The raw registered factory (no instantiation).
 
         Unknown names raise with near-miss suggestions (``did you mean
@@ -190,7 +192,7 @@ MAPPERS = Registry(
 )
 
 
-def register_mapper(name: str) -> Callable[[type], type]:
+def register_mapper(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Class decorator registering a mapper factory under ``name``.
 
     The decorated class gains a ``name`` attribute; instantiating it with

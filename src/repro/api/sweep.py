@@ -177,7 +177,7 @@ def run_scenarios(
     out: str | Path | None = None,
     max_workers: int | None = 1,
     on_record: Callable[[dict[str, Any]], None] | None = None,
-    service=None,
+    service: Any = None,
 ) -> SweepResult:
     """Run every (scenario, replica) pair, streaming results to ``out``.
 

@@ -176,6 +176,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-table", action="store_true", help="omit the aggregate tables"
     )
 
+    p = sub.add_parser(
+        "lint",
+        help="AST determinism & invariant linter (DET/INV rules, "
+        "see README 'Static analysis')",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: ./src if present, else .)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report on stdout instead of text",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline of grandfathered findings "
+        "(default: ./lint-baseline.json when present)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated rule subset (see --list-rules)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (name, code, severity, summary)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for checking files in parallel "
+        "(findings are identical at any worker count)",
+    )
+
     p = sub.add_parser("list", help="list one registry's component names")
     p.add_argument(
         "axis",
@@ -247,6 +299,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_compare(args)
     elif command == "sweep":
         _run_sweep(args)
+    elif command == "lint":
+        _run_lint(args)
     elif command == "list":
         _run_list(args)
     elif command == "serve":
@@ -574,6 +628,96 @@ def _run_sweep(args: argparse.Namespace) -> None:
     if not args.no_table:
         print()
         print(format_sweep(result.records))
+
+
+def _run_lint(args: argparse.Namespace) -> None:
+    """Run the determinism/invariant linter; exit 1 on new findings."""
+    import os
+
+    from .lint import (
+        RULES,
+        BaselineError,
+        apply_baseline,
+        format_json,
+        format_text,
+        load_baseline,
+        rule_catalog,
+        run_lint,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rule in rule_catalog():
+            print(
+                f"{rule['code']:<8} {rule['name']:<24} "
+                f"{rule['severity']:<8} {rule['summary']}"
+            )
+        return
+
+    if args.workers < 1:
+        raise _cli_error("lint", f"--workers must be >= 1, got {args.workers}")
+    rule_names = None
+    if args.rules is not None:
+        rule_names = [name.strip() for name in args.rules.split(",") if name.strip()]
+        if not rule_names:
+            raise _cli_error(
+                "lint", "--rules needs at least one rule name (see --list-rules)"
+            )
+        for name in rule_names:
+            if name not in RULES:
+                raise _cli_error("lint", f"unknown rule {name!r}; {RULES.suggest(name)}")
+
+    paths = list(args.paths)
+    if not paths:
+        paths = ["src"] if os.path.isdir("src") else ["."]
+    try:
+        result = run_lint(paths, rule_names=rule_names, max_workers=args.workers)
+    except FileNotFoundError as exc:
+        raise _cli_error("lint", str(exc)) from None
+    except OSError as exc:
+        raise _cli_error("lint", f"cannot read {exc.filename!r}: {exc.strerror or exc}") from None
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        baseline_path = (
+            "lint-baseline.json" if os.path.isfile("lint-baseline.json") else None
+        )
+
+    if args.update_baseline:
+        if args.no_baseline:
+            raise _cli_error(
+                "lint", "--update-baseline and --no-baseline are contradictory"
+            )
+        target = args.baseline or "lint-baseline.json"
+        try:
+            count = save_baseline(target, result.findings)
+        except OSError as exc:
+            raise _cli_error(
+                "lint",
+                f"cannot write baseline {target!r}: {exc.strerror or exc}",
+            ) from None
+        print(f"wrote {count} grandfathered finding(s) to {target}")
+        return
+
+    entries: list = []
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            entries = load_baseline(baseline_path)
+        except OSError as exc:
+            raise _cli_error(
+                "lint",
+                f"cannot read baseline {baseline_path!r}: {exc.strerror or exc}",
+            ) from None
+        except BaselineError as exc:
+            raise _cli_error("lint", str(exc)) from None
+    diff = apply_baseline(result.findings, entries)
+
+    if args.json:
+        print(format_json(result, diff))
+    else:
+        print(format_text(result, diff))
+    if diff.new:
+        raise SystemExit(1)
 
 
 def _run_list(args: argparse.Namespace) -> None:

@@ -113,6 +113,14 @@ class Assignment:
         return np.array_equal(self._assi, other._assi)
 
     def __hash__(self) -> int:
+        """In-process-only hash (dict/set membership within one interpreter).
+
+        Builtin ``hash()`` of bytes depends on ``PYTHONHASHSEED``, so this
+        value must never be persisted or used as a cache/store key.
+        Durable identity is the SHA-256 canonical-JSON fingerprint
+        (:mod:`repro.service.fingerprint`), which never calls ``hash()``.
+        """
+        # repro: allow[det_builtin_hash] - in-process dict/set membership only
         return hash(self._assi.tobytes())
 
     def __repr__(self) -> str:

@@ -1,0 +1,91 @@
+"""repro-lint: AST-based determinism & invariant analysis for this repo.
+
+The repo's reproducibility guarantees — bit-identical sweeps at any
+worker count, content-addressed result caching, resumable JSONL streams
+— rest on coding conventions.  This package turns those conventions into
+machine-checked invariants:
+
+===========  ======================  ==========================================
+Code         Rule                    Checks
+===========  ======================  ==========================================
+``DET001``   det_unseeded_random     no stdlib ``random`` / legacy
+                                     ``np.random.*`` global-state RNG
+``DET002``   det_wall_clock          clock reads only in the allowlisted
+                                     timer (``repro/utils.py``)
+``DET003``   det_builtin_hash        builtin ``hash()`` never feeds
+                                     fingerprints or store keys
+``DET004``   det_env_entropy         no ``os.environ`` / OS entropy in
+                                     core paths
+``DET005``   det_set_iteration       set iteration order must not escape
+                                     into outcomes
+``INV001``   inv_registry_name       registry names are lowercase string
+                                     literals
+``INV002``   inv_frozen_dataclass    public ``api/`` dataclasses are frozen
+``INV003``   inv_bare_except         no bare/broad ``except`` handlers
+``INV004``   inv_lambda_factory      no lambdas/closures registered as
+                                     factories (process-pool pickling)
+===========  ======================  ==========================================
+
+Rules live on the same generic :class:`~repro.api.registry.Registry`
+that names every other component axis.  Violations that are justified
+in-process-only carry a ``# repro: allow[rule]`` comment; violations
+that predate a rule live in the checked-in baseline
+(``lint-baseline.json``) and burn down over time.
+
+CLI: ``mimdmap lint [PATH ...] [--json] [--baseline FILE]
+[--update-baseline] [--rules a,b] [--workers N] [--list-rules]``.
+"""
+
+from .baseline import (
+    BaselineDiff,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from .engine import (
+    LintResult,
+    check_file,
+    check_source,
+    iter_python_files,
+    parse_suppressions,
+    run_lint,
+)
+from .findings import Finding
+from .report import format_json, format_text, rule_catalog
+from .rules import (
+    RULES,
+    DuplicateRuleError,
+    LintContext,
+    LintRule,
+    UnknownRuleError,
+    available_rules,
+    get_rule,
+    register_rule,
+)
+
+__all__ = [
+    "BaselineDiff",
+    "BaselineError",
+    "DuplicateRuleError",
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "LintRule",
+    "RULES",
+    "UnknownRuleError",
+    "apply_baseline",
+    "available_rules",
+    "check_file",
+    "check_source",
+    "format_json",
+    "format_text",
+    "get_rule",
+    "iter_python_files",
+    "load_baseline",
+    "parse_suppressions",
+    "register_rule",
+    "rule_catalog",
+    "run_lint",
+    "save_baseline",
+]

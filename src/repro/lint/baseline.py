@@ -1,0 +1,133 @@
+"""Grandfathered-finding baselines: load, save, and diff.
+
+A baseline is a checked-in JSON file listing findings that predate a
+rule and are accepted as-is.  ``mimdmap lint --baseline FILE`` then
+fails only on findings *not* in the baseline, so a new rule can ship
+with the codebase still red under it, and the debt burns down visibly.
+
+Matching is by ``(path, rule, snippet)`` — the stripped source line —
+not by line number, so unrelated edits that shift code up or down do not
+invalidate the baseline.  Identical lines in one file are matched by
+count (two identical violations need two baseline entries).  Entries
+that no longer match anything are reported as *stale* so the baseline
+can be regenerated (``--update-baseline``) once the debt is paid.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..utils import MappingError
+from .findings import Finding
+
+__all__ = [
+    "BaselineError",
+    "BaselineDiff",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+]
+
+#: Bump when the baseline encoding changes incompatibly.
+BASELINE_VERSION = 1
+
+
+class BaselineError(MappingError):
+    """A baseline file is unreadable or malformed."""
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Result of diffing current findings against a baseline.
+
+    ``new`` fails the lint; ``matched`` counts grandfathered findings;
+    ``stale`` lists baseline entries that matched nothing (paid-off debt
+    — regenerate the baseline to drop them).
+    """
+
+    new: tuple[Finding, ...]
+    matched: int
+    stale: tuple[dict[str, Any], ...]
+
+
+def _entry_key(entry: dict[str, Any]) -> tuple[str, str, str]:
+    return (str(entry["path"]), str(entry["rule"]), str(entry["snippet"]))
+
+
+def load_baseline(path: str) -> list[dict[str, Any]]:
+    """Parse a baseline file into its entry dicts.
+
+    Raises :class:`BaselineError` on malformed content; ``OSError``
+    propagates for unreadable files (the CLI maps it to exit 2).
+    """
+    with open(path, encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline file {path!r} is not valid JSON: {exc}"
+            ) from None
+    if not isinstance(data, dict) or not isinstance(data.get("findings"), list):
+        raise BaselineError(
+            f"baseline file {path!r} must be an object with a 'findings' list"
+        )
+    entries: list[dict[str, Any]] = []
+    for pos, entry in enumerate(data["findings"]):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(k), str) for k in ("path", "rule", "snippet")
+        ):
+            raise BaselineError(
+                f"baseline file {path!r}: entry {pos} needs string "
+                "'path'/'rule'/'snippet' fields"
+            )
+        entries.append(entry)
+    return entries
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count.
+
+    Entries are sorted and the JSON is indented so baseline diffs review
+    like source diffs.
+    """
+    entries = [
+        {
+            "path": f.path,
+            "rule": f.rule,
+            "line": f.line,
+            "snippet": f.snippet,
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[dict[str, Any]]
+) -> BaselineDiff:
+    """Split ``findings`` into new vs. grandfathered against ``entries``."""
+    budget = Counter(_entry_key(entry) for entry in entries)
+    new: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    stale: list[dict[str, Any]] = []
+    remaining = Counter(budget)
+    for entry in entries:
+        key = _entry_key(entry)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            stale.append(entry)
+    return BaselineDiff(new=tuple(new), matched=matched, stale=tuple(stale))

@@ -1,0 +1,226 @@
+"""The lint engine: file walking, dispatch, and suppressions.
+
+One :func:`check_source` call parses a module once, builds the
+:class:`~repro.lint.rules.LintContext`, and walks the tree once,
+dispatching each node to every rule that declared interest in its type.
+``# repro: allow[rule1,rule2]`` comments (on the offending line, or as a
+standalone comment on the line above) suppress named rules at that
+location; ``allow[*]`` suppresses everything.
+
+:func:`run_lint` walks directories (skipping ``__pycache__``), checks
+files on a process pool when ``max_workers > 1``, and returns findings
+in a deterministic order — worker count changes wall time only, never
+output, which is itself one of the conventions the linter enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from . import rules_det as _rules_det  # noqa: F401 - imported for registration
+from . import rules_inv as _rules_inv  # noqa: F401 - imported for registration
+from .findings import Finding
+from .rules import RULES, LintContext, LintRule
+
+__all__ = [
+    "LintResult",
+    "check_source",
+    "check_file",
+    "iter_python_files",
+    "run_lint",
+    "parse_suppressions",
+]
+
+_SUPPRESS_RE = re.compile(r"repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Findings plus the files that produced them, in checked order."""
+
+    findings: tuple[Finding, ...]
+    files: tuple[str, ...]
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map comment line numbers to the rule names they allow.
+
+    Uses :mod:`tokenize` so string literals containing the marker are
+    never misread as suppressions.  A suppression applies to findings on
+    its own line (inline comment) and on the following line (standalone
+    comment above the statement).
+    """
+    allowed: dict[int, set[str]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match:
+                names = {n.strip() for n in match.group(1).split(",") if n.strip()}
+                allowed.setdefault(tok.start[0], set()).update(names)
+    except tokenize.TokenError:  # unterminated constructs: ast.parse reports
+        pass
+    return allowed
+
+
+def _display_path(path: str, rel_root: str | None) -> str:
+    """Posix display path, relative to ``rel_root`` when possible."""
+    display = path
+    if rel_root is not None:
+        try:
+            display = os.path.relpath(path, rel_root)
+        except ValueError:  # different drive (windows): keep absolute
+            display = path
+    return display.replace(os.sep, "/")
+
+
+def _selected_rules(rule_names: Sequence[str] | None) -> list[LintRule]:
+    names = list(rule_names) if rule_names is not None else RULES.available()
+    rules: list[LintRule] = []
+    for name in names:
+        rule = RULES.get(name)
+        assert isinstance(rule, LintRule)
+        rules.append(rule)
+    return rules
+
+
+def check_source(
+    source: str,
+    path: str,
+    rule_names: Sequence[str] | None = None,
+    rel_root: str | None = None,
+) -> list[Finding]:
+    """Lint one module's text; returns findings sorted by location.
+
+    Unparseable files yield a single ``parse_error`` finding instead of
+    raising, so one broken file cannot hide findings in the rest of a
+    run.
+    """
+    display = _display_path(path, rel_root)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        lines = source.splitlines()
+        snippet = lines[line - 1].strip() if 1 <= line <= len(lines) else ""
+        return [
+            Finding(
+                path=display,
+                line=line,
+                col=(exc.offset or 1) - 1,
+                rule="parse_error",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+                snippet=snippet,
+            )
+        ]
+    ctx = LintContext(display, source, tree)
+    rules = _selected_rules(rule_names)
+    dispatch: dict[type[ast.AST], list[LintRule]] = {}
+    for rule in rules:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    suppressions = parse_suppressions(source)
+
+    findings: dict[Finding, None] = {}
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            for target, message in rule.check(node, ctx):
+                line = int(getattr(target, "lineno", 1))
+                allowed = suppressions.get(line, set()) | suppressions.get(
+                    line - 1, set()
+                )
+                if rule.name in allowed or "*" in allowed:
+                    continue
+                finding = Finding(
+                    path=display,
+                    line=line,
+                    col=int(getattr(target, "col_offset", 0)),
+                    rule=rule.name,
+                    severity=rule.severity,
+                    message=message,
+                    snippet=ctx.source_line(line),
+                )
+                findings[finding] = None
+    return sorted(findings, key=Finding.sort_key)
+
+
+def check_file(
+    path: str,
+    rule_names: Sequence[str] | None = None,
+    rel_root: str | None = None,
+) -> list[Finding]:
+    """Lint one file (text read as UTF-8; ``OSError`` propagates)."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    return check_source(source, path, rule_names=rule_names, rel_root=rel_root)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Directories are walked recursively; ``__pycache__`` and hidden
+    directories are skipped.  A path that is neither a ``.py`` file nor
+    a directory raises ``FileNotFoundError`` so typos fail loudly.
+    """
+    out: dict[str, None] = {}
+    for path in paths:
+        if os.path.isfile(path):
+            out[path] = None
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        out[os.path.join(dirpath, filename)] = None
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    return sorted(out)
+
+
+def _check_one(job: tuple[str, tuple[str, ...] | None, str | None]) -> list[Finding]:
+    """Process-pool entry point: lint one file from a picklable job spec."""
+    path, rule_names, rel_root = job
+    return check_file(path, rule_names=rule_names, rel_root=rel_root)
+
+
+def run_lint(
+    paths: Iterable[str],
+    rule_names: Sequence[str] | None = None,
+    max_workers: int = 1,
+    rel_root: str | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``.
+
+    ``max_workers > 1`` checks files on a :class:`ProcessPoolExecutor`
+    (rules are looked up by name inside each worker); the returned
+    findings are identical at any worker count.
+    """
+    files = iter_python_files(paths)
+    names = tuple(rule_names) if rule_names is not None else None
+    jobs = [(path, names, rel_root) for path in files]
+    if max_workers > 1 and len(files) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            per_file = list(pool.map(_check_one, jobs))
+    else:
+        per_file = [_check_one(job) for job in jobs]
+    findings = sorted(
+        (finding for batch in per_file for finding in batch),
+        key=Finding.sort_key,
+    )
+    return LintResult(
+        findings=tuple(findings),
+        files=tuple(_display_path(path, rel_root) for path in files),
+    )

@@ -1,0 +1,88 @@
+"""The :class:`Finding` record every lint rule produces.
+
+A finding pins one rule violation to one source location.  Findings are
+value objects: frozen, ordered by ``(path, line, col, rule)``, and
+round-trippable through plain dicts so the JSON reporter and the
+baseline file share one encoding.
+
+The ``snippet`` field (the stripped source line) is what the baseline
+matches on instead of the line number — grandfathered findings survive
+unrelated edits that merely shift code up or down (see
+:mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Recognized severities, in increasing order of concern.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Parameters
+    ----------
+    path:
+        Display path of the offending file (posix separators, relative
+        to the lint invocation's root).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Registry name of the rule that fired (e.g. ``det_wall_clock``),
+        or the pseudo-rules ``parse_error`` / ``baseline_error``.
+    severity:
+        ``"error"`` or ``"warning"`` (display only — both fail the lint
+        when new).
+    message:
+        Human-readable explanation of the violation.
+    snippet:
+        The stripped source line, used for line-number-independent
+        baseline matching.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    snippet: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Deterministic report order: by location, then rule name."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching: no line numbers."""
+        return (self.path, self.rule, self.snippet)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict encoding shared by the JSON reporter and baseline."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (extra keys are ignored)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            rule=str(data["rule"]),
+            severity=str(data.get("severity", "error")),
+            message=str(data.get("message", "")),
+            snippet=str(data.get("snippet", "")),
+        )

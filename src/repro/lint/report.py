@@ -1,0 +1,93 @@
+"""Text and JSON reporters for lint results.
+
+The text reporter prints one greppable line per finding
+(``path:line:col: CODE[rule] severity: message``) plus a summary; the
+JSON reporter emits the full machine-readable result the CI gate and
+editor integrations consume.  Both take the same inputs — a
+:class:`~repro.lint.engine.LintResult` and the
+:class:`~repro.lint.baseline.BaselineDiff` against the active baseline —
+so the two views can never disagree about what is new.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .baseline import BaselineDiff
+from .engine import LintResult
+from .findings import Finding
+from .rules import RULES, LintRule
+
+__all__ = ["format_text", "format_json", "rule_catalog"]
+
+#: JSON report shape version.
+REPORT_VERSION = 1
+
+
+def _code_of(rule_name: str) -> str:
+    """The display code of a rule (pseudo-rules fall back to LINT)."""
+    if rule_name in RULES:
+        factory = RULES.factory(rule_name)
+        if isinstance(factory, type) and issubclass(factory, LintRule):
+            return factory.code or "LINT"
+    return "LINT"
+
+
+def _finding_line(finding: Finding) -> str:
+    return (
+        f"{finding.path}:{finding.line}:{finding.col + 1}: "
+        f"{_code_of(finding.rule)}[{finding.rule}] "
+        f"{finding.severity}: {finding.message}"
+    )
+
+
+def format_text(result: LintResult, diff: BaselineDiff) -> str:
+    """Human-readable report: new findings, then the baseline summary."""
+    lines = [_finding_line(f) for f in diff.new]
+    if lines:
+        lines.append("")
+    summary = (
+        f"{len(result.files)} file(s) checked, "
+        f"{len(diff.new)} new finding(s), "
+        f"{diff.matched} baselined"
+    )
+    if diff.stale:
+        summary += f", {len(diff.stale)} stale baseline entry(ies)"
+    lines.append(summary)
+    if diff.stale:
+        lines.append(
+            "stale entries no longer match any finding — regenerate with "
+            "'mimdmap lint --update-baseline' to retire them"
+        )
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult, diff: BaselineDiff) -> str:
+    """Machine-readable report (sorted keys, one canonical encoding)."""
+    payload: dict[str, Any] = {
+        "version": REPORT_VERSION,
+        "files_checked": len(result.files),
+        "findings": [f.to_dict() for f in result.findings],
+        "new": [f.to_dict() for f in diff.new],
+        "baselined": diff.matched,
+        "stale": list(diff.stale),
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def rule_catalog() -> list[dict[str, str]]:
+    """Every registered rule as ``{name, code, severity, summary}``."""
+    catalog = []
+    for name in RULES.available():
+        factory = RULES.factory(name)
+        assert isinstance(factory, type) and issubclass(factory, LintRule)
+        catalog.append(
+            {
+                "name": name,
+                "code": factory.code,
+                "severity": factory.severity,
+                "summary": factory.summary(),
+            }
+        )
+    return catalog

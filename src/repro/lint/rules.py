@@ -1,0 +1,224 @@
+"""The lint-rule framework: rule base class, registry, and file context.
+
+Rules are classes registered on the repo's generic
+:class:`~repro.api.registry.Registry` — the same machinery that names
+mappers, clusterers, workloads, topologies, and metrics names lint
+rules::
+
+    @register_rule("det_wall_clock")
+    class WallClockRule(LintRule):
+        code = "DET002"
+        node_types = (ast.Call, ast.Attribute)
+        def check(self, node, ctx): ...
+
+A rule declares the AST node types it wants (``node_types``); the engine
+walks each file's tree once and dispatches every node to the interested
+rules, so adding rules does not add traversals.  ``check`` yields
+``(node, message)`` pairs; the engine turns them into
+:class:`~repro.lint.findings.Finding` records and applies
+``# repro: allow[rule]`` suppressions.
+
+:class:`LintContext` gives rules everything per-file: the parsed tree, a
+parent map (for scope questions like "is this call inside a function
+body?"), and import-alias resolution (``np.random.rand`` resolves to
+``numpy.random.rand`` whatever numpy was imported as).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, ClassVar, Iterator
+
+from ..api.registry import (
+    DuplicateComponentError,
+    Registry,
+    UnknownComponentError,
+)
+
+__all__ = [
+    "LintContext",
+    "LintRule",
+    "RULES",
+    "DuplicateRuleError",
+    "UnknownRuleError",
+    "register_rule",
+    "available_rules",
+    "get_rule",
+]
+
+
+class DuplicateRuleError(DuplicateComponentError):
+    """A lint-rule name was registered twice."""
+
+
+class UnknownRuleError(UnknownComponentError):
+    """A lint-rule name is not in the registry."""
+
+
+#: The lint-rule axis: names -> LintRule subclasses.
+RULES = Registry(
+    "lint rule",
+    duplicate_error=DuplicateRuleError,
+    unknown_error=UnknownRuleError,
+)
+
+
+def register_rule(name: str) -> Callable[[type], type]:
+    """Class decorator registering a :class:`LintRule` under ``name``."""
+    return RULES.register(name)
+
+
+def available_rules() -> list[str]:
+    """Sorted names of every registered lint rule."""
+    return RULES.available()
+
+
+def get_rule(name: str) -> "LintRule":
+    """Instantiate the rule registered under ``name``."""
+    rule = RULES.get(name)
+    assert isinstance(rule, LintRule)
+    return rule
+
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class LintContext:
+    """Per-file facts shared by every rule while checking one module.
+
+    Parameters
+    ----------
+    path:
+        Display path of the file (posix separators); rules use it for
+        path-scoped checks (the clock allowlist, the ``api/`` frozen-
+        dataclass scope).
+    source:
+        The file's text (for snippets).
+    tree:
+        The parsed module.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.module_aliases, self.from_imports = _collect_imports(tree)
+        self._parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # ------------------------------------------------------------------
+    def source_line(self, lineno: int) -> str:
+        """The stripped source line at 1-based ``lineno`` (or ``""``)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def path_endswith(self, suffixes: tuple[str, ...]) -> bool:
+        """Does the display path end with any of the posix ``suffixes``?"""
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+    def has_path_segment(self, segment: str) -> bool:
+        """Is ``segment`` a whole directory component of the path?"""
+        return segment in self.path.split("/")[:-1]
+
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(id(node))
+
+    def in_function(self, node: ast.AST) -> bool:
+        """Is ``node`` nested inside any function or lambda body?"""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, _FUNCTION_NODES):
+                return True
+            current = self.parent(current)
+        return False
+
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.AST) -> str | None:
+        """Resolve a ``Name``/``Attribute`` chain to its imported origin.
+
+        ``np.random.rand`` resolves to ``"numpy.random.rand"`` under
+        ``import numpy as np``; ``datetime.now`` resolves to
+        ``"datetime.datetime.now"`` under ``from datetime import
+        datetime``.  Locals and unresolvable chains give ``None``, so
+        rules never mistake a local variable for a module.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.from_imports:
+                return self.from_imports[node.id]
+            if node.id in self.module_aliases:
+                return self.module_aliases[node.id]
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+    def is_shadowed_builtin(self, name: str) -> bool:
+        """Has an import rebound the builtin ``name`` in this module?"""
+        return name in self.from_imports or name in self.module_aliases
+
+
+def _collect_imports(
+    tree: ast.Module,
+) -> tuple[dict[str, str], dict[str, str]]:
+    """Alias maps: local name -> module, and local name -> qualified name.
+
+    Relative imports keep their leading dots (``from ..utils import
+    as_rng`` -> ``"..utils.as_rng"``) so they can never collide with the
+    absolute stdlib/numpy names the rules look for.
+    """
+    module_aliases: dict[str, str] = {}
+    from_imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module_aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    module_aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                from_imports[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+    return module_aliases, from_imports
+
+
+class LintRule:
+    """Base class of every lint rule.
+
+    Subclasses set ``code`` (the stable short id shown in reports, e.g.
+    ``DET002``), ``severity``, and ``node_types``, then implement
+    :meth:`check`.  The registry fills ``name`` at registration time.
+    """
+
+    #: Registry name (set by ``@register_rule``).
+    name: ClassVar[str] = ""
+    #: Stable short id shown in reports (``DET001`` ... ``INV004``).
+    code: ClassVar[str] = ""
+    #: ``"error"`` or ``"warning"`` (display only).
+    severity: ClassVar[str] = "error"
+    #: AST node types this rule wants to see.
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = ()
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        """Yield ``(offending node, message)`` for each violation."""
+        raise NotImplementedError
+
+    @classmethod
+    def summary(cls) -> str:
+        """First docstring line — the catalog/`--list-rules` blurb."""
+        doc = cls.__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""

@@ -1,0 +1,285 @@
+"""DET rules: the determinism conventions, machine-checked.
+
+Every reproducibility guarantee the repo makes — bit-identical sweeps at
+any worker count, content-addressed result caching, resumable JSONL
+streams — rests on a handful of conventions:
+
+* randomness comes only from ``SeedSequence``-derived numpy Generators
+  (threaded through ``rng=`` arguments, normalized by
+  :func:`repro.utils.as_rng`), never from process-global RNG state;
+* only the :class:`repro.utils.Stopwatch` timer touches the clock;
+* nothing persisted is ever keyed by builtin ``hash()`` (it depends on
+  ``PYTHONHASHSEED``); persistent identity is SHA-256 of canonical JSON
+  (:mod:`repro.service.fingerprint`);
+* core paths read no ambient state (``os.environ``) and no OS entropy
+  (``os.urandom``, ``uuid.uuid4``, ``secrets``);
+* set iteration order never escapes into outcomes.
+
+These rules turn those conventions into findings.  In-process-only
+exceptions carry a ``# repro: allow[rule]`` comment explaining why (see
+``Assignment.__hash__`` for the worked example).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from .rules import LintContext, LintRule, register_rule
+
+__all__ = [
+    "UnseededRandomRule",
+    "WallClockRule",
+    "BuiltinHashRule",
+    "EnvEntropyRule",
+    "SetIterationRule",
+]
+
+#: numpy.random attributes that are explicitly seedable (allowed).
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Files allowed to read the clock (the one sanctioned timer).
+CLOCK_ALLOWLIST = ("repro/utils.py",)
+
+#: Fully-qualified callables that read wall-clock or CPU time.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Ambient-state and OS-entropy accesses forbidden in core paths.
+_ENV_ENTROPY = frozenset(
+    {
+        "os.environ",
+        "os.getenv",
+        "os.putenv",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+def _resolved_target(node: ast.AST, ctx: LintContext) -> str | None:
+    """Resolve the import origin of a Call's plain-name func or an Attribute.
+
+    Calls whose func is an ``Attribute`` are skipped here — the engine
+    visits that inner ``Attribute`` node separately, so handling both
+    would double-report one violation.
+    """
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return ctx.resolve(node.func)
+        return None
+    return ctx.resolve(node)
+
+
+@register_rule("det_unseeded_random")
+class UnseededRandomRule(LintRule):
+    """Process-global RNG use (stdlib ``random``, ``np.random.*`` legacy state).
+
+    Stdlib ``random`` and numpy's legacy global state (``np.random.rand``,
+    ``np.random.seed``, ...) are process-wide and unseeded by default, so
+    results change between runs and between worker processes.  All
+    randomness must flow from ``SeedSequence``-derived
+    ``numpy.random.Generator`` objects threaded through ``rng=``.
+    """
+
+    code: ClassVar[str] = "DET001"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call, ast.Attribute)
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        resolved = _resolved_target(node, ctx)
+        if resolved is None:
+            return
+        if resolved == "random" or resolved.startswith("random."):
+            yield (
+                node,
+                f"{resolved} uses the process-global stdlib RNG; derive a "
+                "numpy Generator from a SeedSequence instead (see "
+                "repro.utils.as_rng)",
+            )
+        elif resolved.startswith("numpy.random."):
+            leaf = resolved.split(".")[2]
+            if leaf not in _NP_RANDOM_ALLOWED:
+                yield (
+                    node,
+                    f"{resolved} touches numpy's legacy global RNG state; "
+                    "use numpy.random.default_rng / SeedSequence-derived "
+                    "Generators instead",
+                )
+
+
+@register_rule("det_wall_clock")
+class WallClockRule(LintRule):
+    """Clock reads outside the allowlisted timer (``repro/utils.py``).
+
+    Wall-clock and CPU-time reads make outputs run-dependent; only the
+    :class:`repro.utils.Stopwatch` timer may touch the clock, and callers
+    report elapsed time through it.
+    """
+
+    code: ClassVar[str] = "DET002"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call, ast.Attribute)
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        if ctx.path_endswith(CLOCK_ALLOWLIST):
+            return
+        resolved = _resolved_target(node, ctx)
+        if resolved in _CLOCK_CALLS:
+            yield (
+                node,
+                f"{resolved} reads the clock outside the allowlisted timer; "
+                "time through repro.utils.Stopwatch (repro/utils.py) instead",
+            )
+
+
+@register_rule("det_builtin_hash")
+class BuiltinHashRule(LintRule):
+    """Builtin ``hash()`` — ``PYTHONHASHSEED``-dependent, never persistable.
+
+    ``hash()`` of strings and bytes changes with the interpreter's hash
+    seed, so any fingerprint, cache key, or store key derived from it is
+    corrupted across processes.  Persistent identity must be SHA-256 of
+    canonical JSON (:mod:`repro.service.fingerprint`).  Genuinely
+    in-process uses (e.g. a ``__hash__`` implementation) carry a
+    ``# repro: allow[det_builtin_hash]`` comment stating that scope.
+    """
+
+    code: ClassVar[str] = "DET003"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call,)
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "hash"
+            and not ctx.is_shadowed_builtin("hash")
+        ):
+            yield (
+                node,
+                "builtin hash() depends on PYTHONHASHSEED and must never "
+                "reach a fingerprint or store key; use SHA-256 over "
+                "canonical JSON (repro.service.fingerprint), or mark "
+                "in-process-only uses with '# repro: allow[det_builtin_hash]'",
+            )
+
+
+@register_rule("det_env_entropy")
+class EnvEntropyRule(LintRule):
+    """Ambient state (``os.environ``) or OS entropy in core paths.
+
+    Environment reads make results depend on the invoking shell; OS
+    entropy (``os.urandom``, ``uuid.uuid4``, ``secrets``) is
+    unreproducible by construction.  Configuration enters through
+    explicit parameters; randomness through seeded Generators.
+    """
+
+    code: ClassVar[str] = "DET004"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call, ast.Attribute)
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        resolved = _resolved_target(node, ctx)
+        if resolved is None:
+            return
+        if resolved in _ENV_ENTROPY or resolved.startswith("secrets."):
+            yield (
+                node,
+                f"{resolved} injects ambient state or OS entropy; take the "
+                "value as an explicit parameter (or a seeded Generator) "
+                "instead",
+            )
+
+
+def _is_set_expr(node: ast.AST, ctx: LintContext) -> bool:
+    """Is this expression statically known to produce a ``set``?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+        and not ctx.is_shadowed_builtin(node.func.id)
+    )
+
+
+@register_rule("det_set_iteration")
+class SetIterationRule(LintRule):
+    """Unsorted set iteration whose order can escape into outcomes.
+
+    Set iteration order depends on insertion history and on the hash
+    seed for str/bytes elements.  Iterating a set into an ordered
+    container (a ``for`` loop, ``list()``/``tuple()``, ``str.join``, a
+    comprehension) leaks that order; wrap the set in ``sorted(...)``
+    first.  Order-insensitive reductions (``len``, ``sum``, ``min``,
+    ``max``, ``any``, ``all``, set-to-set operations) are fine.
+    """
+
+    code: ClassVar[str] = "DET005"
+    severity: ClassVar[str] = "warning"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (
+        ast.For,
+        ast.ListComp,
+        ast.GeneratorExp,
+        ast.DictComp,
+        ast.Call,
+    )
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        message = (
+            "iterating a set in an order-sensitive position; wrap it in "
+            "sorted(...) so the order cannot depend on the hash seed"
+        )
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter, ctx):
+                yield (node.iter, message)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, ctx):
+                    yield (gen.iter, message)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            ordered_builtin = (
+                isinstance(func, ast.Name)
+                and func.id in ("list", "tuple")
+                and not ctx.is_shadowed_builtin(func.id)
+            )
+            join_call = isinstance(func, ast.Attribute) and func.attr == "join"
+            if (ordered_builtin or join_call) and len(node.args) == 1:
+                if _is_set_expr(node.args[0], ctx):
+                    yield (node.args[0], message)

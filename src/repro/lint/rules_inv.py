@@ -1,0 +1,235 @@
+"""INV rules: API invariants the registries and the service rely on.
+
+* Registry names are lowercase string literals at the call site, so the
+  full component catalog is statically greppable and the
+  :meth:`~repro.api.registry.Registry.validate_name` rule can never fail
+  at import time in a worker process.
+* Public ``api/`` dataclasses are frozen — the facade hands them to
+  worker processes and caches; aliasing mutation would corrupt both.
+* No bare or broad ``except`` — swallowed failures turn determinism
+  bugs into silently wrong results.  Justified best-effort handlers
+  carry a ``# repro: allow[inv_bare_except]`` comment saying why (see
+  the cache-put handler in ``repro/service/service.py`` for the worked
+  example).
+* No lambdas or closures registered as factories — the batch engine
+  ships work to a ``ProcessPoolExecutor``, and pickling a lambda or a
+  nested function fails only at runtime, on the first parallel run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from .rules import LintContext, LintRule, register_rule
+
+__all__ = [
+    "RegistryNameRule",
+    "FrozenDataclassRule",
+    "BareExceptRule",
+    "LambdaFactoryRule",
+]
+
+#: Module-level helpers that forward to ``Registry.register``.
+_REGISTER_FUNCS = frozenset(
+    {
+        "register_mapper",
+        "register_clusterer",
+        "register_workload",
+        "register_topology",
+        "register_metric",
+        "register_rule",
+    }
+)
+
+#: ``<module>.register`` attributes that are not registry registrations.
+_REGISTER_NOT_REGISTRY = frozenset({"atexit.register", "codecs.register"})
+
+
+def _is_register_call(node: ast.Call, ctx: LintContext) -> bool:
+    """Is this call a registry registration site (``X.register`` / helpers)?"""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "register":
+        return ctx.resolve(func) not in _REGISTER_NOT_REGISTRY
+    return isinstance(func, ast.Name) and func.id in _REGISTER_FUNCS
+
+
+def _registered_name_arg(node: ast.Call) -> ast.expr | None:
+    """The name argument of a registration call, positional or keyword."""
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "name":
+            return kw.value
+    return None
+
+
+@register_rule("inv_registry_name")
+class RegistryNameRule(LintRule):
+    """Registry registrations must use lowercase string literals.
+
+    A literal name makes the catalog greppable and guarantees
+    ``Registry.validate_name`` cannot blow up at import time inside a
+    worker process.  Registrations inside function bodies (the
+    ``register_*`` helper definitions themselves) are out of scope.
+    """
+
+    code: ClassVar[str] = "INV001"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call,)
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.Call)
+        if not _is_register_call(node, ctx) or ctx.in_function(node):
+            return
+        name_arg = _registered_name_arg(node)
+        if name_arg is None:
+            return
+        if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+            name = name_arg.value
+            if not name or not name.islower() or not name.replace("_", "").isalnum():
+                yield (
+                    name_arg,
+                    f"registry name {name!r} is not a lowercase identifier "
+                    "([a-z0-9_]+) — Registry.validate_name will reject it",
+                )
+        else:
+            yield (
+                name_arg,
+                "registry name must be a lowercase string literal, not a "
+                "dynamic expression — literal names keep the catalog "
+                "greppable and fail at the definition, not in a worker",
+            )
+
+
+@register_rule("inv_frozen_dataclass")
+class FrozenDataclassRule(LintRule):
+    """Public ``api/`` dataclasses must be ``@dataclass(frozen=True)``.
+
+    The facade hands these objects to worker processes, caches, and
+    stores; a mutable instance aliased across those layers is a
+    cache-corruption bug waiting to happen.  Private helpers (leading
+    underscore) are exempt.
+    """
+
+    code: ClassVar[str] = "INV002"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.ClassDef,)
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.ClassDef)
+        if not ctx.has_path_segment("api") or node.name.startswith("_"):
+            return
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            is_dataclass = (
+                isinstance(target, ast.Name) and target.id == "dataclass"
+            ) or ctx.resolve(target) == "dataclasses.dataclass"
+            if not is_dataclass:
+                continue
+            frozen = False
+            if isinstance(dec, ast.Call):
+                for kw in dec.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        frozen = True
+            if not frozen:
+                yield (
+                    node,
+                    f"public api dataclass {node.name!r} must be "
+                    "@dataclass(frozen=True): instances cross process and "
+                    "cache boundaries and must not be mutable",
+                )
+
+
+@register_rule("inv_bare_except")
+class BareExceptRule(LintRule):
+    """Bare ``except:`` or broad ``except Exception`` handlers.
+
+    Swallowing arbitrary failures converts bugs into silently wrong (and
+    possibly cached) results.  Catch the narrow exceptions the guarded
+    code can raise; a genuinely best-effort handler states its
+    justification in a ``# repro: allow[inv_bare_except]`` comment.
+    """
+
+    code: ClassVar[str] = "INV003"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.ExceptHandler,)
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield (
+                node,
+                "bare 'except:' swallows every failure (including "
+                "KeyboardInterrupt); catch the specific exceptions the "
+                "guarded code raises",
+            )
+            return
+        exprs = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        for expr in exprs:
+            broad = (
+                isinstance(expr, ast.Name)
+                and expr.id in ("Exception", "BaseException")
+            ) or ctx.resolve(expr) in ("builtins.Exception", "builtins.BaseException")
+            if broad:
+                yield (
+                    expr,
+                    "broad 'except Exception' hides real failures; narrow it "
+                    "to the exceptions the guarded code raises, or justify "
+                    "the best-effort handler with "
+                    "'# repro: allow[inv_bare_except]'",
+                )
+
+
+@register_rule("inv_lambda_factory")
+class LambdaFactoryRule(LintRule):
+    """Lambdas or closures registered as component factories.
+
+    The batch engine and the mapping service pickle work for a
+    ``ProcessPoolExecutor``; lambdas and functions defined inside other
+    functions cannot be pickled, so such a registration only fails at
+    runtime on the first parallel use.  Register module-level functions
+    or classes.
+    """
+
+    code: ClassVar[str] = "INV004"
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (
+        ast.Call,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+    )
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        message = (
+            "lambda/closure registered as a factory cannot be pickled for "
+            "the process pool; register a module-level function or class"
+        )
+        if isinstance(node, ast.Call):
+            is_direct = _is_register_call(node, ctx)
+            is_curried = isinstance(node.func, ast.Call) and _is_register_call(
+                node.func, ctx
+            )
+            if not (is_direct or is_curried):
+                return
+            scanned = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in scanned:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Lambda):
+                        yield (sub, message)
+                        break
+        else:
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if not ctx.in_function(node):
+                return
+            for dec in node.decorator_list:
+                if isinstance(dec, ast.Call) and _is_register_call(dec, ctx):
+                    yield (node, message)

@@ -399,6 +399,7 @@ class MappingService:
             self._register(job)
         try:
             job._backing = self.executor().submit(execute, task)
+        # repro: allow[inv_bare_except] - cleanup only; re-raised unchanged below
         except BaseException as exc:
             # Registration already happened; the job must resolve and the
             # fingerprint must be reclaimed, or every future identical
@@ -431,6 +432,10 @@ class MappingService:
                 if job.fingerprint is not None:
                     try:
                         self.cache.put(job.fingerprint, future.result())
+                    # Best-effort cache fill: the job already resolved, and a
+                    # persistence failure (full disk, torn store) must never
+                    # turn a computed result into an error.
+                    # repro: allow[inv_bare_except]
                     except Exception:  # pragma: no cover - best effort
                         pass
         finally:

@@ -1,0 +1,31 @@
+"""Fixture: INV002 — public api/ dataclasses must be frozen."""
+from dataclasses import dataclass
+
+
+@dataclass
+class BadBare:  # expect: inv_frozen_dataclass
+    x: int = 0
+
+
+@dataclass()
+class BadEmptyCall:  # expect: inv_frozen_dataclass
+    x: int = 0
+
+
+@dataclass(frozen=False)
+class BadExplicit:  # expect: inv_frozen_dataclass
+    x: int = 0
+
+
+@dataclass(frozen=True)
+class GoodFrozen:
+    x: int = 0
+
+
+@dataclass
+class _PrivateScratch:
+    x: int = 0
+
+
+class GoodPlainClass:
+    pass

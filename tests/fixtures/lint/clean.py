@@ -1,0 +1,24 @@
+"""Fixture: zero findings — the blessed idioms pass untouched."""
+import numpy as np
+
+
+def seeded_randomness(rng=None):
+    return np.random.default_rng(rng).permutation(4)
+
+
+def derived_streams(seed):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(3)]
+
+
+def deterministic_sets(xs):
+    ordered = sorted(set(xs))
+    count = len({x + 1 for x in xs})
+    return ordered, count
+
+
+def narrow_errors(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        return None

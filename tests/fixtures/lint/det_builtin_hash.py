@@ -1,0 +1,15 @@
+"""Fixture: DET003 — builtin hash() flowing toward persistence."""
+
+
+def bad_fingerprint(payload):
+    return f"{hash(payload):x}"  # expect: det_builtin_hash
+
+
+def bad_store_key(record):
+    return hash(tuple(record))  # expect: det_builtin_hash
+
+
+class Thing:
+    def __hash__(self):
+        # repro: allow[det_builtin_hash] - in-process dict membership only
+        return hash(("thing", 3))

@@ -1,0 +1,28 @@
+"""Fixture: DET004 — ambient state and OS entropy in core paths."""
+import os
+import secrets
+import uuid
+
+
+def bad_environ():
+    return os.environ["SEED"]  # expect: det_env_entropy
+
+
+def bad_getenv():
+    return os.getenv("SEED")  # expect: det_env_entropy
+
+
+def bad_urandom():
+    return os.urandom(8)  # expect: det_env_entropy
+
+
+def bad_uuid():
+    return uuid.uuid4()  # expect: det_env_entropy
+
+
+def bad_secrets():
+    return secrets.token_hex(4)  # expect: det_env_entropy
+
+
+def good_explicit(seed):
+    return uuid.UUID(int=seed)

@@ -1,0 +1,30 @@
+"""Fixture: DET005 — set iteration order escaping into outcomes."""
+
+
+def bad_for():
+    out = []
+    for item in {"b", "a", "c"}:  # expect: det_set_iteration
+        out.append(item)
+    return out
+
+
+def bad_list(xs):
+    return list(set(xs))  # expect: det_set_iteration
+
+
+def bad_tuple(xs):
+    return tuple(frozenset(xs))  # expect: det_set_iteration
+
+
+def bad_join(xs):
+    return ",".join({str(x) for x in xs})  # expect: det_set_iteration
+
+
+def bad_comprehension(xs):
+    return [x + 1 for x in set(xs)]  # expect: det_set_iteration
+
+
+def good_sorted(xs):
+    total = sum(set(xs))
+    biggest = max({1, 2, 3})
+    return sorted(set(xs)), total, biggest

@@ -1,0 +1,28 @@
+"""Fixture: DET001 — process-global RNG use (never imported, only parsed)."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+from random import shuffle
+
+
+def bad_stdlib():
+    return random.randint(0, 3)  # expect: det_unseeded_random
+
+
+def bad_from_import(items):
+    shuffle(items)  # expect: det_unseeded_random
+
+
+def bad_numpy_seed():
+    np.random.seed(0)  # expect: det_unseeded_random
+
+
+def bad_numpy_global():
+    return np.random.rand(3)  # expect: det_unseeded_random
+
+
+def good_seeded(rng):
+    gen = np.random.default_rng(7)
+    seq = np.random.SeedSequence(5)
+    return default_rng(seq), gen

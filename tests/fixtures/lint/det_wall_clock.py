@@ -1,0 +1,24 @@
+"""Fixture: DET002 — clock reads outside the allowlisted timer."""
+import time
+from datetime import date, datetime
+from time import perf_counter
+
+
+def bad_wall():
+    return time.time()  # expect: det_wall_clock
+
+
+def bad_perf():
+    return perf_counter()  # expect: det_wall_clock
+
+
+def bad_datetime():
+    return datetime.now()  # expect: det_wall_clock
+
+
+def bad_today():
+    return date.today()  # expect: det_wall_clock
+
+
+def good_sleep():
+    time.sleep(0)

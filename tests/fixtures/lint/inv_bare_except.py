@@ -1,0 +1,36 @@
+"""Fixture: INV003 — bare and broad except handlers."""
+
+
+def bad_bare():
+    try:
+        return 1
+    except:  # expect: inv_bare_except
+        return 0
+
+
+def bad_broad():
+    try:
+        return 1
+    except Exception:  # expect: inv_bare_except
+        return 0
+
+
+def bad_base():
+    try:
+        return 1
+    except BaseException:  # expect: inv_bare_except
+        return 0
+
+
+def bad_tuple():
+    try:
+        return 1
+    except (ValueError, Exception):  # expect: inv_bare_except
+        return 0
+
+
+def good_narrow():
+    try:
+        return 1
+    except (ValueError, KeyError):
+        return 0

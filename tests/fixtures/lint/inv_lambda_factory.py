@@ -1,0 +1,27 @@
+"""Fixture: INV004 — lambdas/closures registered as factories."""
+from repro.api.registry import Registry
+
+REG = Registry("thing")
+
+
+def wrap(func):
+    return func
+
+
+REG.register("direct")(lambda rng: rng)  # expect: inv_lambda_factory
+REG.register("wrapped")(wrap(lambda rng: rng))  # expect: inv_lambda_factory
+
+
+def build_and_register():
+    @REG.register("closure")
+    def inner(rng):  # expect: inv_lambda_factory
+        return rng
+
+    return inner
+
+
+def module_level_factory(rng):
+    return rng
+
+
+REG.register("good")(module_level_factory)

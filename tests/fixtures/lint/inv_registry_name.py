@@ -1,0 +1,27 @@
+"""Fixture: INV001 — registry names must be lowercase string literals."""
+from repro.api.registry import Registry, register_mapper
+
+REG = Registry("thing")
+
+DYNAMIC = "computed"
+
+REG.register(DYNAMIC)(object)  # expect: inv_registry_name
+REG.register("BadCase")(object)  # expect: inv_registry_name
+REG.register("bad name")(object)  # expect: inv_registry_name
+REG.register("good_name")(object)
+
+
+@register_mapper("AlsoBad")  # expect: inv_registry_name
+class BadMapper:
+    pass
+
+
+@register_mapper("fine_mapper")
+class GoodMapper:
+    pass
+
+
+def register_helper(name):
+    # Inside a function body: this *is* the helper definition, not a
+    # registration site — out of scope for INV001.
+    return REG.register(name)

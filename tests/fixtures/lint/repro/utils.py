@@ -1,0 +1,9 @@
+"""Fixture: a path matching the clock allowlist (repro/utils.py).
+
+The one sanctioned timer module may read the clock without findings.
+"""
+import time
+
+
+def sanctioned_timer():
+    return time.perf_counter()

@@ -1,0 +1,20 @@
+"""Fixture: every violation carries a repro: allow[...] suppression."""
+import time
+
+
+def inline_comment():
+    return time.time()  # repro: allow[det_wall_clock] - test harness timing
+
+
+def comment_on_line_above():
+    # repro: allow[det_builtin_hash] - in-process only
+    return hash("x")
+
+
+def several_rules_at_once():
+    # repro: allow[det_wall_clock, det_builtin_hash]
+    return hash(time.time())
+
+
+def wildcard():
+    return time.time()  # repro: allow[*]

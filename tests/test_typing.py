@@ -1,0 +1,34 @@
+"""The strict-typing baseline: mypy --strict over the typed islands.
+
+``repro.api`` and ``repro.lint`` are the first strictly-typed islands
+(see ``[tool.mypy]`` in pyproject.toml).  This test runs mypy exactly as
+CI does, so a local ``pytest`` catches typing regressions before push.
+Skipped when mypy is not installed (it is a dev extra, not a runtime
+dependency).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_typed_islands_pass_strict_mypy():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"mypy failed:\n{proc.stdout}\n{proc.stderr}"
+
+
+def test_py_typed_marker_ships_with_the_package():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").is_file()
