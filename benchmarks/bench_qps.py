@@ -1,0 +1,211 @@
+"""Benchmark the sharded serving fleet: gateway QPS at 1 vs 2 shards.
+
+Stands up an in-process fleet (shard HTTP servers plus the
+fingerprint-routing gateway, exactly the ``mimdmap serve`` /
+``mimdmap gateway`` topology) and measures the steady-state serving
+path: warm-cache ``POST /jobs`` requests, which every saturated fleet
+spends most of its time answering.  Two configurations:
+
+* **1 shard** — the gateway fronts a single service (pure proxy
+  overhead on top of the service-smoke path);
+* **2 shards** — the same request stream fingerprint-routed across two
+  services, each owning half the keyspace.
+
+Reported per configuration: sustained jobs/sec and the p99 request
+latency in milliseconds.  The ``--json-out`` report carries the worse
+(higher) of the two p99s as ``p99_ms`` for the perf gate's ``qps``
+budget, plus a ``failures`` count (any non-200, non-cached, or
+wrongly-routed response).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_qps.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_qps.py --smoke --json-out R.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.api.scenario import Scenario
+from repro.service import (
+    KeyspaceSlice,
+    MappingService,
+    make_gateway,
+    make_server,
+    scenario_fingerprint,
+    shard_for_fingerprint,
+)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_qps.txt"
+
+BASE = {
+    "workload": "fft",
+    "workload_params": {"points_log2": 2},
+    "topology": "hypercube:2",
+    "mapper": "critical",
+}
+
+
+def scenario_body(seed: int) -> dict:
+    return dict(BASE, seed=seed)
+
+
+def post_job(base_url: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        f"{base_url}/jobs",
+        data=json.dumps(body).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        payload = json.loads(response.read())
+        payload["_status"] = response.status
+        return payload
+
+
+class Fleet:
+    """N shard servers plus one gateway, all in this process."""
+
+    def __init__(self, count: int):
+        self.count = count
+        self.services = []
+        self.servers = []
+        for index in range(count):
+            service = MappingService(
+                max_workers=1, keyspace=KeyspaceSlice.for_shard(index, count)
+            )
+            server = make_server(service)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            self.services.append(service)
+            self.servers.append(server)
+        addresses = [f"127.0.0.1:{s.server_address[1]}" for s in self.servers]
+        self.gateway = make_gateway(addresses, retries=1, retry_delay=0.05)
+        threading.Thread(target=self.gateway.serve_forever, daemon=True).start()
+        self.gateway_url = f"http://127.0.0.1:{self.gateway.server_address[1]}"
+
+    def close(self) -> None:
+        self.gateway.shutdown()
+        self.gateway.server_close()
+        for server in self.servers:
+            server.shutdown()
+            server.server_close()
+        for service in self.services:
+            service.close()
+
+
+def wait_done(base_url: str, job_id: str, timeout: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(f"{base_url}/jobs/{job_id}", timeout=30) as r:
+            payload = json.loads(r.read())
+        if payload["status"] == "done":
+            return
+        if payload["status"] == "failed":
+            raise AssertionError(f"warm-up job failed: {payload}")
+        time.sleep(0.02)
+    raise AssertionError(f"warm-up job {job_id} did not finish in {timeout}s")
+
+
+def bench_fleet(
+    count: int, seeds: list[int], requests: int, lines: list[str]
+) -> tuple[float, float, int]:
+    """Returns (qps, p99 ms, failures) for a ``count``-shard fleet."""
+    fleet = Fleet(count)
+    failures = 0
+    try:
+        # Warm phase: execute every distinct scenario once so the timed
+        # loop measures the serving path (route + cache hit), not the
+        # mapper.
+        for seed in seeds:
+            payload = post_job(fleet.gateway_url, scenario_body(seed))
+            if not payload["cached"]:
+                wait_done(fleet.gateway_url, payload["id"])
+
+        latencies = []
+        start = time.perf_counter()
+        for i in range(requests):
+            body = scenario_body(seeds[i % len(seeds)])
+            t0 = time.perf_counter()
+            payload = post_job(fleet.gateway_url, body)
+            latencies.append(time.perf_counter() - t0)
+            scenario = Scenario.from_dict(body)
+            expected = shard_for_fingerprint(
+                scenario_fingerprint(scenario, 0), count
+            )
+            if (
+                payload["_status"] != 200
+                or not payload["cached"]
+                or payload["shard"] != expected
+            ):
+                failures += 1
+        elapsed = time.perf_counter() - start
+    finally:
+        fleet.close()
+
+    qps = requests / elapsed
+    p99 = sorted(latencies)[max(0, int(len(latencies) * 0.99) - 1)] * 1e3
+    lines.append(
+        f"  {count} shard(s): {qps:8.0f} jobs/sec   p99 {p99:7.2f} ms   "
+        f"({requests} warm-cache requests, {failures} failure(s))"
+    )
+    return qps, p99, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for the CI perf gate"
+    )
+    parser.add_argument(
+        "--json-out", default=None, help="write a machine-readable report here"
+    )
+    args = parser.parse_args(argv)
+
+    num_seeds, requests = (4, 80) if args.smoke else (16, 600)
+    seeds = list(range(num_seeds))
+
+    lines = [f"gateway QPS benchmark (warm-cache POST /jobs, {requests} requests)"]
+    start = time.perf_counter()
+    qps_1, p99_1, fail_1 = bench_fleet(1, seeds, requests, lines)
+    qps_2, p99_2, fail_2 = bench_fleet(2, seeds, requests, lines)
+    elapsed = time.perf_counter() - start
+
+    report_lines = "\n".join(lines)
+    print(report_lines)
+
+    if args.json_out:
+        report = {
+            "bench": "qps",
+            "elapsed_seconds": elapsed,
+            "requests": requests,
+            "qps_1shard": qps_1,
+            "qps_2shard": qps_2,
+            "p99_ms_1shard": p99_1,
+            "p99_ms_2shard": p99_2,
+            # The perf gate's quality key: the worse of the two p99s.
+            "p99_ms": max(p99_1, p99_2),
+            "failures": fail_1 + fail_2,
+        }
+        Path(args.json_out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[report -> {args.json_out}]")
+
+    if not args.smoke:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(report_lines + "\n")
+        print(f"[recorded -> {RESULTS_PATH}]")
+
+    if fail_1 + fail_2:
+        print(f"FAIL: {fail_1 + fail_2} bad response(s) during the timed loop")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@
     mimdmap sweep SPEC.json [--workers N] [--out results.jsonl]  # scenario grid
     mimdmap list {mappers,clusterers,workloads,topologies,metrics} [--json]
     mimdmap serve [--port P] [--workers N] [--store F.jsonl]  # HTTP mapping service
+    mimdmap serve --shard-index I --shard-count N [--queue-limit Q]  # fleet shard
+    mimdmap gateway --shards host:port,host:port [--port P]  # fingerprint router
     mimdmap --version
 
 Also runnable as ``python -m repro ...``.
@@ -262,14 +264,105 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=None,
         metavar="FILE",
-        help="durable JSONL result store; an existing file is recovered so "
+        help="durable result store; an existing file is recovered so "
         "previously solved jobs are served from cache across restarts",
+    )
+    p.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=["auto", "jsonl", "sqlite"],
+        help="store persistence backend (auto picks by suffix: .db/.sqlite/"
+        ".sqlite3 mean SQLite WAL, anything else JSONL)",
+    )
+    p.add_argument(
+        "--store-sync",
+        default="always",
+        choices=["always", "never"],
+        help="store durability: 'always' fsyncs every completed job before "
+        "acknowledging it (default), 'never' only flushes to the OS",
     )
     p.add_argument(
         "--cache-size",
         type=int,
         default=1024,
         help="in-memory LRU capacity (evictions fall back to the store)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission bound: beyond N unfinished jobs new submissions get "
+        "429 + Retry-After instead of queueing (default: unbounded; 0 "
+        "refuses all new work but still serves cached results)",
+    )
+    p.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="back-off hint sent with 429 responses",
+    )
+    p.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="serve as shard I of a --shard-count fleet: only fingerprints "
+        "in this shard's keyspace slice are accepted (421 otherwise)",
+    )
+    p.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total number of shards in the fleet (requires --shard-index)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="on SIGTERM, wait up to this long for in-flight jobs to finish "
+        "before closing the store and exiting",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+
+    p = sub.add_parser(
+        "gateway",
+        help="run the fingerprint-routing gateway over a fleet of "
+        "'mimdmap serve' shards (POST /jobs routed by keyspace slice, "
+        "GET /health aggregated)",
+    )
+    p.add_argument(
+        "--shards",
+        required=True,
+        metavar="ADDRS",
+        help="comma-separated shard addresses in fleet order, e.g. "
+        "127.0.0.1:8431,127.0.0.1:8432 — order defines the keyspace slices, "
+        "so every fleet member must use the same list",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8430,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts against an unresponsive shard before a 502",
+    )
+    p.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="pause between retry attempts",
     )
     p.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
@@ -305,6 +398,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_list(args)
     elif command == "serve":
         _run_serve(args)
+    elif command == "gateway":
+        _run_gateway(args)
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command!r}")
     return 0
@@ -733,8 +828,32 @@ def _run_list(args: argparse.Namespace) -> None:
             print(name)
 
 
+class _DrainRequested(Exception):
+    """SIGTERM arrived: stop accepting, finish in-flight work, exit 0."""
+
+
+def _install_sigterm_drain() -> None:
+    """Route SIGTERM through :class:`_DrainRequested` (POSIX main thread).
+
+    ``serve_forever`` runs on the main thread, so raising from the
+    handler unwinds the accept loop cleanly and lands in the drain
+    sequence below — the shard's graceful-shutdown contract.
+    """
+    import signal
+
+    def handler(signum: int, frame: object) -> None:
+        raise _DrainRequested
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except ValueError:  # pragma: no cover - non-main thread (embedded use)
+        pass
+
+
 def _run_serve(args: argparse.Namespace) -> None:
-    from .service import MappingService, make_server
+    from .service import MappingService, StoreLockedError, make_server
+    from .service.shard import KeyspaceSlice
+    from .utils import MappingError
 
     if args.workers is not None and args.workers < 1:
         raise _cli_error("serve", f"--workers must be >= 1, got {args.workers}")
@@ -742,11 +861,35 @@ def _run_serve(args: argparse.Namespace) -> None:
         raise _cli_error("serve", f"--cache-size must be >= 1, got {args.cache_size}")
     if not (0 <= args.port <= 65535):
         raise _cli_error("serve", f"--port must be in [0, 65535], got {args.port}")
-    service = MappingService(
-        max_workers=args.workers,
-        store_path=args.store,
-        cache_size=args.cache_size,
-    )
+    if args.queue_limit is not None and args.queue_limit < 0:
+        raise _cli_error(
+            "serve", f"--queue-limit must be >= 0, got {args.queue_limit}"
+        )
+    if (args.shard_index is None) != (args.shard_count is None):
+        raise _cli_error(
+            "serve", "--shard-index and --shard-count must be given together"
+        )
+    keyspace = None
+    if args.shard_index is not None:
+        try:
+            keyspace = KeyspaceSlice.for_shard(args.shard_index, args.shard_count)
+        except MappingError as exc:
+            raise _cli_error("serve", str(exc)) from None
+    try:
+        service = MappingService(
+            max_workers=args.workers,
+            store_path=args.store,
+            store_backend=args.store_backend,
+            store_sync=args.store_sync,
+            cache_size=args.cache_size,
+            queue_limit=args.queue_limit,
+            retry_after=args.retry_after,
+            keyspace=keyspace,
+        )
+    except StoreLockedError as exc:
+        raise _cli_error("serve", str(exc)) from None
+    except MappingError as exc:
+        raise _cli_error("serve", str(exc)) from None
     try:
         server = make_server(
             service, host=args.host, port=args.port, quiet=not args.verbose
@@ -761,18 +904,85 @@ def _run_serve(args: argparse.Namespace) -> None:
     if service.cache.store is not None:
         print(
             f"store: {service.cache.store.path} "
+            f"[{service.cache.store.backend_name}] "
             f"({service.cache.store.recovered} result(s) recovered)",
             flush=True,
         )
+    if keyspace is not None:
+        print(
+            f"shard {args.shard_index}/{args.shard_count}: keyspace "
+            f"{keyspace.describe()}",
+            flush=True,
+        )
+    _install_sigterm_drain()
+    draining = False
+    try:
+        # The smoke tooling greps this exact line for the bound
+        # (ephemeral) port.  Printed inside the try: a SIGTERM landing
+        # between the announcement and the accept loop must still drain.
+        print(f"serving on http://{host}:{port}", flush=True)
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    except _DrainRequested:
+        draining = True
+        print("draining: no longer accepting, finishing in-flight jobs", flush=True)
+    finally:
+        server.server_close()
+        left = service.drain(timeout=args.drain_timeout)
+        service.close()
+        if draining:
+            if left:
+                print(f"drain timeout: {left} job(s) abandoned", flush=True)
+            else:
+                print("drained: in-flight jobs finished, store flushed", flush=True)
+
+
+def _run_gateway(args: argparse.Namespace) -> None:
+    from .service.shard import make_gateway
+    from .utils import MappingError
+
+    shards = [s.strip() for s in args.shards.split(",") if s.strip()]
+    if not shards:
+        raise _cli_error(
+            "gateway", "--shards needs at least one host:port address"
+        )
+    if not (0 <= args.port <= 65535):
+        raise _cli_error("gateway", f"--port must be in [0, 65535], got {args.port}")
+    if args.retries < 0:
+        raise _cli_error("gateway", f"--retries must be >= 0, got {args.retries}")
+    if args.retry_delay < 0:
+        raise _cli_error(
+            "gateway", f"--retry-delay must be >= 0, got {args.retry_delay}"
+        )
+    try:
+        server = make_gateway(
+            shards,
+            host=args.host,
+            port=args.port,
+            retries=args.retries,
+            retry_delay=args.retry_delay,
+            quiet=not args.verbose,
+        )
+    except MappingError as exc:
+        raise _cli_error("gateway", str(exc)) from None
+    except OSError as exc:
+        raise _cli_error(
+            "gateway",
+            f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}",
+        ) from None
+    host, port = server.server_address[:2]
+    for index, (address, keyslice) in enumerate(zip(server.shards, server.slices)):
+        print(f"shard {index}: {address} owns {keyslice.describe()}", flush=True)
+    _install_sigterm_drain()
     # The smoke tooling greps this exact line for the bound (ephemeral) port.
     print(f"serving on http://{host}:{port}", flush=True)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, _DrainRequested):
         print("shutting down", flush=True)
     finally:
         server.server_close()
-        service.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

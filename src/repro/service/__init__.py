@@ -15,37 +15,70 @@ between questions, the way a resource manager actually uses a mapper:
 * :class:`~repro.service.cache.OutcomeCache` — bounded LRU over the
   store;
 * :func:`make_server` — stdlib-only HTTP JSON front-end
-  (``mimdmap serve``).
+  (``mimdmap serve``);
+* :mod:`~repro.service.backends` — pluggable store persistence: JSONL
+  (single-writer, lock-file enforced) or SQLite WAL (multi-process
+  safe), both with an explicit ``sync`` durability policy;
+* :mod:`~repro.service.shard` — the horizontal story: fingerprint-prefix
+  keyspace slicing, a routing/aggregating gateway (``mimdmap
+  gateway``), admission-queue backpressure (429 + ``Retry-After``),
+  and graceful drain/restart.
 
 ``solve``/``solve_many``/``compare``/``run_scenarios`` delegate their
 parallelism to :func:`default_service`, so every caller of the classic
 API shares one warm pool automatically.
 """
 
+from .backends import (
+    JsonlBackend,
+    SqliteBackend,
+    StoreBackend,
+    StoreLockedError,
+    open_backend,
+)
 from .cache import OutcomeCache
 from .fingerprint import instance_fingerprint, scenario_fingerprint
 from .http import ServiceHTTPServer, make_server
 from .service import (
     Job,
     MappingService,
+    ServiceSaturatedError,
+    WrongShardError,
     default_service,
     set_default_service,
     shutdown_default_service,
 )
+from .shard import (
+    GatewayHTTPServer,
+    KeyspaceSlice,
+    make_gateway,
+    shard_for_fingerprint,
+)
 from .store import ResultStore, outcome_from_dict, outcome_to_dict
 
 __all__ = [
+    "GatewayHTTPServer",
     "Job",
+    "JsonlBackend",
+    "KeyspaceSlice",
     "MappingService",
     "OutcomeCache",
     "ResultStore",
     "ServiceHTTPServer",
+    "ServiceSaturatedError",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreLockedError",
+    "WrongShardError",
     "default_service",
     "instance_fingerprint",
+    "make_gateway",
     "make_server",
+    "open_backend",
     "outcome_from_dict",
     "outcome_to_dict",
     "scenario_fingerprint",
     "set_default_service",
+    "shard_for_fingerprint",
     "shutdown_default_service",
 ]

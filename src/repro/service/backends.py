@@ -1,0 +1,310 @@
+"""Pluggable persistence backends under the :class:`ResultStore`.
+
+A backend owns one on-disk representation of the canonical
+``fingerprint -> outcome`` record stream; the store above it keeps the
+in-memory view and the locking discipline.  Two implementations ship:
+
+* :class:`JsonlBackend` — the original append-only JSONL file.  Crash
+  recovery truncates a torn final record (the signature of a killed
+  writer) so later appends never merge into the garbage tail.  JSONL is
+  strictly **single-writer**: a sidecar ``<path>.lock`` file is held
+  with ``flock`` for the backend's lifetime, and a second opener gets a
+  :class:`StoreLockedError` instead of silently interleaving lines.
+* :class:`SqliteBackend` — an SQLite database in WAL mode with the same
+  canonical record schema (``fingerprint`` primary key, the outcome as
+  canonical JSON text).  SQLite's own locking makes it safe for
+  multiple *processes* to append concurrently, which is what the
+  sharded fleet's recovery/migration tooling relies on.
+
+Both honor the same ``sync`` policy:
+
+* ``"always"`` (the default) — every append is flushed *and* fsynced
+  (JSONL) / committed under ``PRAGMA synchronous=FULL`` (SQLite) before
+  ``append`` returns, so a completed job survives an immediate power
+  cut;
+* ``"never"`` — appends are flushed to the OS but never fsynced
+  (``synchronous=OFF`` for SQLite); a crash of the *process* loses
+  nothing, a crash of the *machine* may lose the latest records.
+
+:func:`open_backend` picks a backend from the path suffix (``.db`` /
+``.sqlite`` / ``.sqlite3`` -> SQLite, anything else -> JSONL) unless one
+is named explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Protocol, TextIO, runtime_checkable
+
+from ..io.jsonl import dumps_record
+from ..utils import GraphError, MappingError
+
+try:  # single-writer enforcement needs flock; absent off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "SYNC_POLICIES",
+    "JsonlBackend",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreLockedError",
+    "open_backend",
+]
+
+#: Durability policies every backend understands (see module docstring).
+SYNC_POLICIES = ("always", "never")
+
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+class StoreLockedError(MappingError):
+    """Another live writer already owns this single-writer store."""
+
+
+def _check_sync(sync: str) -> str:
+    if sync not in SYNC_POLICIES:
+        raise MappingError(
+            f"unknown store sync policy {sync!r}; choose from "
+            f"{', '.join(SYNC_POLICIES)}"
+        )
+    return sync
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """What the :class:`~repro.service.store.ResultStore` needs from disk.
+
+    A backend is opened on construction, surrenders its recovered
+    records once via :meth:`load`, then serves :meth:`append` calls
+    (already deduplicated by the store) until :meth:`close`.  All calls
+    arrive under the store's lock, so backends need no locking of their
+    own against sibling *threads* — only against sibling *processes*.
+    """
+
+    #: Short registry-style name ("jsonl", "sqlite") for health reports.
+    name: str
+
+    @property
+    def path(self) -> Path:
+        """Where the records live on disk."""
+        ...  # pragma: no cover - protocol
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """Recover every durable ``fingerprint -> outcome dict`` record."""
+        ...  # pragma: no cover - protocol
+
+    def append(self, fingerprint: str, outcome: dict[str, Any]) -> None:
+        """Persist one new record (the caller guarantees it is new)."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Flush, release cross-process locks, and stop accepting appends."""
+        ...  # pragma: no cover - protocol
+
+
+class JsonlBackend:
+    """Append-only JSONL records; single-writer, torn-tail-recovering."""
+
+    name = "jsonl"
+
+    def __init__(self, path: str | Path, *, sync: str = "always") -> None:
+        self._path = Path(path)
+        self._sync = _check_sync(sync)
+        self._fh: TextIO | None = None
+        self._lock_fh: TextIO | None = None
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._acquire_writer_lock()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _acquire_writer_lock(self) -> None:
+        """Hold ``<path>.lock`` exclusively for this backend's lifetime.
+
+        ``flock`` locks die with the process, so a crashed writer never
+        wedges the store — but a *live* second writer is refused with a
+        clear error instead of interleaving half-lines into the log.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        lock_path = self._path.with_name(self._path.name + ".lock")
+        fh = lock_path.open("a")
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            fh.close()
+            raise StoreLockedError(
+                f"JSONL store {self._path} is already open for writing in "
+                "another process (JSONL is single-writer; close the other "
+                "writer, or use the SQLite backend for concurrent writers)"
+            ) from None
+        self._lock_fh = fh
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """Recover complete records; truncate a torn tail so appends are safe.
+
+        A killed writer leaves at most one partial final record.  Unlike
+        a read-only consumer, a *writer* must physically drop it: the
+        next append would otherwise concatenate onto the partial line
+        and corrupt both records.
+        """
+        records: dict[str, dict[str, Any]] = {}
+        if not self._path.exists():
+            return records
+        raw = self._path.read_bytes()
+        pos = 0
+        keep = 0  # length of the longest trusted (newline-terminated) prefix
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            line = raw[pos : newline if newline != -1 else len(raw)]
+            terminated = newline != -1
+            last = not terminated or not raw[newline + 1 :].strip()
+            if line.strip():
+                try:
+                    record = json.loads(line)
+                    if not isinstance(record, dict):
+                        raise ValueError("record is not a JSON object")
+                except ValueError as exc:
+                    if last:
+                        break  # the torn tail; truncated below
+                    raise GraphError(
+                        f"{self._path}: corrupt mid-file record at byte {pos}: "
+                        f"{exc}"
+                    ) from None
+                fingerprint = record.get("fingerprint")
+                outcome = record.get("outcome")
+                if isinstance(fingerprint, str) and isinstance(outcome, dict):
+                    records.setdefault(fingerprint, outcome)
+            if not terminated:
+                break
+            pos = keep = newline + 1
+        if keep < len(raw):
+            with self._path.open("r+b") as fh:
+                fh.truncate(keep)
+                if self._sync == "always":
+                    os.fsync(fh.fileno())
+        return records
+
+    def append(self, fingerprint: str, outcome: dict[str, Any]) -> None:
+        if self._fh is None:
+            self._fh = self._path.open("a")
+        self._fh.write(
+            dumps_record({"fingerprint": fingerprint, "outcome": outcome}) + "\n"
+        )
+        self._fh.flush()
+        if self._sync == "always":
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self._lock_fh is not None:
+            if fcntl is not None:
+                fcntl.flock(self._lock_fh.fileno(), fcntl.LOCK_UN)
+            self._lock_fh.close()
+            self._lock_fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JsonlBackend({str(self._path)!r}, sync={self._sync!r})"
+
+
+class SqliteBackend:
+    """SQLite (WAL) records; safe for concurrent multi-process appends."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str | Path, *, sync: str = "always") -> None:
+        import sqlite3
+
+        self._path = Path(path)
+        self._sync = _check_sync(sync)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        # One connection per backend; the store serializes calls onto it.
+        self._conn = sqlite3.connect(
+            str(self._path), timeout=30.0, check_same_thread=False
+        )
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(
+                f"PRAGMA synchronous={'FULL' if self._sync == 'always' else 'OFF'}"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "fingerprint TEXT PRIMARY KEY, outcome TEXT NOT NULL)"
+            )
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise MappingError(
+                f"{self._path} is not a usable SQLite result store: {exc}"
+            ) from None
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        import sqlite3
+
+        records: dict[str, dict[str, Any]] = {}
+        try:
+            rows = self._conn.execute(
+                "SELECT fingerprint, outcome FROM results"
+            ).fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise MappingError(
+                f"{self._path} is not a readable SQLite result store: {exc}"
+            ) from None
+        for fingerprint, blob in rows:
+            try:
+                outcome = json.loads(blob)
+            except ValueError as exc:
+                raise GraphError(
+                    f"{self._path}: stored outcome for {fingerprint!r} is not "
+                    f"valid JSON: {exc}"
+                ) from None
+            if isinstance(fingerprint, str) and isinstance(outcome, dict):
+                records[fingerprint] = outcome
+        return records
+
+    def append(self, fingerprint: str, outcome: dict[str, Any]) -> None:
+        # INSERT OR IGNORE keeps first-write-wins across *processes* too:
+        # two shards recomputing the same pure result cannot conflict.
+        self._conn.execute(
+            "INSERT OR IGNORE INTO results (fingerprint, outcome) VALUES (?, ?)",
+            (fingerprint, dumps_record(outcome)),
+        )
+        self._conn.commit()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SqliteBackend({str(self._path)!r}, sync={self._sync!r})"
+
+
+def open_backend(
+    path: str | Path, *, backend: str = "auto", sync: str = "always"
+) -> StoreBackend:
+    """Open the named (or suffix-inferred) backend over ``path``."""
+    _check_sync(sync)
+    if backend == "auto":
+        backend = (
+            "sqlite" if Path(path).suffix.lower() in _SQLITE_SUFFIXES else "jsonl"
+        )
+    if backend == "jsonl":
+        return JsonlBackend(path, sync=sync)
+    if backend == "sqlite":
+        return SqliteBackend(path, sync=sync)
+    raise MappingError(
+        f"unknown store backend {backend!r}; choose from auto, jsonl, sqlite"
+    )

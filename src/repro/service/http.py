@@ -29,14 +29,15 @@ Errors are JSON too: ``{"error": ...}`` with 400/404/405 status.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import urlsplit
 
 from ..utils import MappingError
-from .service import MappingService
+from .service import MappingService, ServiceSaturatedError, WrongShardError
 
-__all__ = ["ServiceHTTPServer", "make_server"]
+__all__ = ["ServiceHTTPServer", "make_server", "parse_job_body", "retry_after_header"]
 
 _MAX_BODY = 16 * 1024 * 1024
 
@@ -57,11 +58,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- helpers --------------------------------------------------------
 
-    def _send(self, status: int, payload: dict[str, Any]) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -125,6 +133,18 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             job = _submit_from_body(self.server.service, body)
+        except ServiceSaturatedError as exc:
+            # Backpressure, not failure: the shard is saturated, the
+            # client (or gateway) should back off and retry.
+            self._send(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": retry_after_header(exc.retry_after)},
+            )
+            return
+        except WrongShardError as exc:
+            self._error(421, str(exc))
+            return
         except (MappingError, TypeError, ValueError) as exc:
             self._error(400, str(exc))
             return
@@ -139,8 +159,18 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
-def _submit_from_body(service: MappingService, body: Any):
-    """Turn one ``POST /jobs`` body into a submitted scenario job."""
+def retry_after_header(seconds: float) -> str:
+    """RFC-compliant ``Retry-After`` value: a whole number of seconds."""
+    return str(max(1, math.ceil(seconds)))
+
+
+def parse_job_body(body: Any):
+    """Validate one ``POST /jobs`` body into ``(scenario, replica)``.
+
+    Shared by the shard front-end (which then submits) and the gateway
+    (which only needs the scenario's fingerprint to route) so the two
+    can never disagree about what a request means.
+    """
     from ..api.scenario import Scenario
 
     if not isinstance(body, dict):
@@ -158,7 +188,12 @@ def _submit_from_body(service: MappingService, body: Any):
         replica = body.get("replica", 0)
         if not isinstance(replica, int) or isinstance(replica, bool) or replica < 0:
             raise MappingError(f"'replica' must be an int >= 0, got {replica!r}")
-    scenario = Scenario.from_dict(spec)
+    return Scenario.from_dict(spec), replica
+
+
+def _submit_from_body(service: MappingService, body: Any):
+    """Turn one ``POST /jobs`` body into a submitted scenario job."""
+    scenario, replica = parse_job_body(body)
     return service.submit_scenario(scenario, replica)
 
 

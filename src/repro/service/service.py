@@ -28,6 +28,7 @@ import atexit
 import itertools
 import os
 import threading
+import time
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -47,10 +48,36 @@ from .store import ResultStore, outcome_to_dict
 __all__ = [
     "Job",
     "MappingService",
+    "ServiceSaturatedError",
+    "WrongShardError",
     "default_service",
     "set_default_service",
     "shutdown_default_service",
 ]
+
+
+class ServiceSaturatedError(MappingError):
+    """The admission queue is full; retry after ``retry_after`` seconds.
+
+    Raised instead of queueing without bound when a service configured
+    with ``queue_limit`` already has that many unfinished jobs.  The
+    HTTP front-end maps this to ``429`` with a ``Retry-After`` header —
+    backpressure the gateway and clients can act on.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class WrongShardError(MappingError):
+    """This service does not own the submitted fingerprint's keyspace.
+
+    Raised by a service configured with a ``keyspace`` slice when a
+    submission's fingerprint falls outside it — the signature of a
+    request that bypassed (or disagreed with) the gateway's routing.
+    The HTTP front-end maps this to ``421 Misdirected Request``.
+    """
 
 
 @dataclass(frozen=True)
@@ -166,8 +193,34 @@ class MappingService:
         Optional JSONL path for the durable result store.  An existing
         file is recovered at construction, so identical solves from a
         previous service life are answered without recompute.
+    store_backend:
+        Persistence backend for ``store_path``: ``"jsonl"``,
+        ``"sqlite"``, or ``"auto"`` (pick by suffix; see
+        :mod:`repro.service.backends`).
+    store_sync:
+        Store durability policy: ``"always"`` (fsync every completed
+        job before acknowledging it; the default) or ``"never"``.
     cache_size:
         In-memory LRU capacity (evictions fall back to the store).
+    queue_limit:
+        Admission bound: the maximum number of unfinished async jobs
+        (queued + running) this service accepts.  Beyond it, new
+        non-cached submissions raise :class:`ServiceSaturatedError`
+        instead of queueing without bound; cache hits and dedup onto
+        already-in-flight work are always admitted (they add no load).
+        ``None`` (the default) means unbounded; ``0`` refuses all new
+        work while still serving cached results — drain mode.
+    retry_after:
+        The back-off hint (seconds) carried by
+        :class:`ServiceSaturatedError` and the HTTP ``Retry-After``
+        header.
+    keyspace:
+        Optional keyspace slice this service owns (an object with
+        ``contains(fingerprint)`` and ``to_dict()``, i.e. a
+        :class:`~repro.service.shard.KeyspaceSlice`).  Submissions
+        whose fingerprint falls outside it raise
+        :class:`WrongShardError` — shards of a fleet refuse misrouted
+        traffic rather than double-serving the keyspace.
     job_history:
         How many *finished* jobs stay addressable by id (oldest finished
         jobs are forgotten beyond this; in-flight jobs are never
@@ -193,15 +246,31 @@ class MappingService:
         *,
         max_workers: int | None = None,
         store_path: str | Path | None = None,
+        store_backend: str = "auto",
+        store_sync: str = "always",
         cache_size: int = 1024,
+        queue_limit: int | None = None,
+        retry_after: float = 1.0,
+        keyspace=None,
         job_history: int = 1024,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise MappingError(f"max_workers must be >= 1, got {max_workers}")
         if job_history < 1:
             raise MappingError(f"job_history must be >= 1, got {job_history}")
+        if queue_limit is not None and queue_limit < 0:
+            raise MappingError(f"queue_limit must be >= 0, got {queue_limit}")
+        if retry_after <= 0:
+            raise MappingError(f"retry_after must be > 0, got {retry_after}")
         self._max_workers = max_workers
-        self._store = ResultStore(store_path) if store_path is not None else None
+        self._store = (
+            ResultStore(store_path, backend=store_backend, sync=store_sync)
+            if store_path is not None
+            else None
+        )
+        self.queue_limit = queue_limit
+        self.retry_after = retry_after
+        self.keyspace = keyspace
         self.cache = OutcomeCache(cache_size, store=self._store)
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
@@ -211,6 +280,7 @@ class MappingService:
         self._ids = itertools.count(1)
         self._closed = False
         self._executed = 0  # computations the service ran to completion
+        self._active = 0  # async jobs scheduled but not yet resolved
 
     # -- pool ----------------------------------------------------------
 
@@ -370,6 +440,11 @@ class MappingService:
             if self._closed:
                 raise MappingError("MappingService is closed")
         if fingerprint is not None:
+            if self.keyspace is not None and not self.keyspace.contains(fingerprint):
+                raise WrongShardError(
+                    f"fingerprint {fingerprint[:12]}... is outside this "
+                    f"shard's keyspace slice {self.keyspace.describe()}"
+                )
             cached = self.cache.get(fingerprint)
             if cached is not None:
                 job = Job.completed(self._next_id(), fingerprint, cached, cached=True)
@@ -377,9 +452,10 @@ class MappingService:
                 return job
             # Atomic check-and-insert: concurrent identical submissions
             # (two HTTP threads POSTing the same body) must converge on
-            # one job, so the inflight lookup, the cache re-check, and
-            # the registration happen under one lock hold.  The cache's
-            # own lock is a leaf lock, so nesting it here is safe.
+            # one job, so the inflight lookup, the cache re-check, the
+            # admission check, and the registration happen under one
+            # lock hold.  The cache's own lock is a leaf lock, so
+            # nesting it here is safe.
             with self._lock:
                 inflight = self._inflight.get(fingerprint)
                 if inflight is not None:
@@ -391,12 +467,15 @@ class MappingService:
                     )
                     self._register_locked(job)
                     return job
+                self._admit_locked()
                 job = Job(self._next_id(), fingerprint)
                 self._register_locked(job)
                 self._inflight[fingerprint] = job
         else:
-            job = Job(self._next_id(), fingerprint)
-            self._register(job)
+            with self._lock:
+                self._admit_locked()
+                job = Job(self._next_id(), fingerprint)
+                self._register_locked(job)
         try:
             job._backing = self.executor().submit(execute, task)
         # repro: allow[inv_bare_except] - cleanup only; re-raised unchanged below
@@ -407,12 +486,24 @@ class MappingService:
             job._future.set_exception(
                 MappingError(f"job {job.id} could not be scheduled: {exc}")
             )
-            if fingerprint is not None:
-                with self._lock:
+            with self._lock:
+                self._active -= 1
+                if fingerprint is not None:
                     self._inflight.pop(fingerprint, None)
             raise
         job._backing.add_done_callback(lambda f: self._finish(job, f))
         return job
+
+    def _admit_locked(self) -> None:
+        """Admission control: count one more active job or refuse (429)."""
+        if self.queue_limit is not None and self._active >= self.queue_limit:
+            raise ServiceSaturatedError(
+                f"admission queue full ({self._active} active job(s), "
+                f"limit {self.queue_limit}); retry after "
+                f"{self.retry_after:g}s",
+                self.retry_after,
+            )
+        self._active += 1
 
     def _finish(self, job: Job, future: Future) -> None:
         try:
@@ -439,8 +530,9 @@ class MappingService:
                     except Exception:  # pragma: no cover - best effort
                         pass
         finally:
-            if job.fingerprint is not None:
-                with self._lock:
+            with self._lock:
+                self._active -= 1
+                if job.fingerprint is not None:
                     self._inflight.pop(job.fingerprint, None)
 
     def job(self, job_id: str) -> Job | None:
@@ -495,10 +587,45 @@ class MappingService:
             )
         return mapper, None
 
+    def active_jobs(self) -> int:
+        """Async jobs scheduled but not yet resolved (queued + running)."""
+        with self._lock:
+            return self._active
+
+    def drain(self, timeout: float | None = None) -> int:
+        """Block until every in-flight async job resolves (or timeout).
+
+        Returns the number of jobs still unfinished — 0 means a clean
+        drain.  The graceful-shutdown sequence is: stop accepting new
+        work (close the HTTP server, or set ``queue_limit = 0``),
+        ``drain()``, then :meth:`close` to flush the store.
+        """
+        deadline = (
+            None
+            if timeout is None
+            else time.monotonic() + timeout  # repro: allow[det_wall_clock]
+        )
+        while True:
+            active = self.active_jobs()
+            if active == 0:
+                return 0
+            if deadline is not None:
+                if time.monotonic() >= deadline:  # repro: allow[det_wall_clock]
+                    return active
+            time.sleep(0.02)
+
     def stats(self) -> dict[str, Any]:
-        """One JSON-ready snapshot (the HTTP ``GET /health`` body)."""
+        """One JSON-ready snapshot (the HTTP ``GET /health`` body).
+
+        Besides the pool/cache/job counters this carries everything the
+        gateway (and an operator) needs for routing and alerting
+        decisions: the admission queue's depth, running count, and
+        limit; the durable store's backend, path, and record count; and
+        the shard's keyspace slice when it serves one.
+        """
         with self._lock:
             jobs = list(self._jobs.values())
+            active = self._active
         by_status: dict[str, int] = {}
         for job in jobs:
             by_status[job.status] = by_status.get(job.status, 0) + 1
@@ -507,8 +634,26 @@ class MappingService:
             "pool_started": self.pool_started,
             "executed": self.executed,
             "jobs": {"total": len(jobs), **by_status},
+            "queue": {
+                "depth": by_status.get("pending", 0),
+                "running": by_status.get("running", 0),
+                "active": active,
+                "limit": self.queue_limit,
+                "retry_after": self.retry_after,
+            },
+            "keyspace": (
+                self.keyspace.to_dict() if self.keyspace is not None else None
+            ),
             "cache": self.cache.stats(),
-            "store": str(self._store.path) if self._store is not None else None,
+            "store": (
+                {
+                    "path": str(self._store.path),
+                    "backend": self._store.backend_name,
+                    "records": len(self._store),
+                }
+                if self._store is not None
+                else None
+            ),
         }
 
     def close(self) -> None:

@@ -1,0 +1,42 @@
+"""Sharded serving fleet: fingerprint-routed shards behind one gateway.
+
+One :class:`~repro.service.MappingService` caps out at a single process
+pool and a single store.  This package splits the content-addressed
+SHA-256 fingerprint keyspace across N independent service instances
+("shards") and puts a thin stdlib-HTTP gateway in front:
+
+* :mod:`~repro.service.shard.keyspace` — the routing arithmetic: every
+  fingerprint's leading 16 bits pick exactly one
+  :class:`KeyspaceSlice`, and :func:`shard_for_fingerprint` and
+  :meth:`KeyspaceSlice.for_shard` are consistent by construction;
+* :mod:`~repro.service.shard.gateway` — ``mimdmap gateway``: proxies
+  ``POST /jobs`` / ``GET /jobs/<id>`` to the owning shard (with
+  bounded retries before surfacing 502), aggregates ``GET /health``
+  and ``GET /jobs`` across the fleet, and relays backpressure
+  (429 + ``Retry-After``) untouched.
+
+Shards themselves are plain ``mimdmap serve`` processes started with
+``--shard-index/--shard-count`` (keyspace enforcement: a misrouted
+fingerprint is refused with 421) and ``--queue-limit`` (admission
+control: a saturated shard answers 429 + ``Retry-After`` instead of
+queueing without bound).  SIGTERM drains: in-flight jobs finish, the
+store is flushed, the process exits 0, and a restart recovers the store
+and re-serves every cached fingerprint.
+"""
+
+from .gateway import GatewayHTTPServer, make_gateway
+from .keyspace import (
+    KEYSPACE_BUCKETS,
+    KeyspaceSlice,
+    fingerprint_bucket,
+    shard_for_fingerprint,
+)
+
+__all__ = [
+    "KEYSPACE_BUCKETS",
+    "GatewayHTTPServer",
+    "KeyspaceSlice",
+    "fingerprint_bucket",
+    "make_gateway",
+    "shard_for_fingerprint",
+]

@@ -1,0 +1,350 @@
+"""Fingerprint-routing HTTP gateway over a fleet of mapping shards.
+
+The gateway is deliberately thin: it holds **no pool, no cache, and no
+store**.  Its only state is the ordered shard address list, from which
+every routing decision follows deterministically:
+
+* ``POST /jobs`` — validate the body exactly the way a shard would
+  (:func:`repro.service.http.parse_job_body`), compute the scenario
+  fingerprint, and proxy the request to the shard whose keyspace slice
+  owns it.  Shard responses pass through verbatim (with the job id
+  namespaced as ``s<shard>.<id>``), including 429 backpressure and its
+  ``Retry-After`` header.
+* ``GET /jobs/<s<shard>.<id>>`` — route by the id's shard prefix.
+* ``GET /jobs`` and ``GET /health`` — fan out to every shard and
+  aggregate; unreachable shards degrade the fleet's status instead of
+  failing the request.
+* ``GET /registries/<kind>`` — answered by the first reachable shard
+  (every shard serves the same registries).
+
+A dead shard is retried ``retries`` times (with ``retry_delay`` between
+attempts) before the gateway surfaces ``502`` — transient restarts are
+bridged, hard failures are reported, and the rest of the keyspace keeps
+serving either way.
+
+Run it with ``mimdmap gateway --shards host:port,host:port,...`` or
+embed it via :func:`make_gateway`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlsplit
+
+from ...utils import MappingError
+from ..fingerprint import scenario_fingerprint
+from .keyspace import KeyspaceSlice, shard_for_fingerprint
+
+__all__ = ["GatewayHTTPServer", "ShardUnreachableError", "make_gateway"]
+
+_MAX_BODY = 16 * 1024 * 1024
+_GATEWAY_ID = re.compile(r"s(\d+)\.(.+)")
+
+
+class ShardUnreachableError(MappingError):
+    """A shard did not answer after every configured retry."""
+
+
+def _check_address(address: str) -> str:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit() or not (0 < int(port) <= 65535):
+        raise MappingError(
+            f"invalid shard address {address!r}; expected host:port"
+        )
+    return address
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP gateway over an ordered list of shard addresses.
+
+    Shard order *is* the routing table: shard ``i`` of ``n`` owns
+    keyspace slice ``KeyspaceSlice.for_shard(i, n)``, so every fleet
+    member (and every restart) must be given the same ``--shards`` list
+    in the same order.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address,
+        shards: list[str],
+        *,
+        retries: int = 2,
+        retry_delay: float = 0.25,
+        proxy_timeout: float = 120.0,
+        quiet: bool = True,
+    ):
+        if not shards:
+            raise MappingError("a gateway needs at least one shard address")
+        if retries < 0:
+            raise MappingError(f"retries must be >= 0, got {retries}")
+        if retry_delay < 0:
+            raise MappingError(f"retry_delay must be >= 0, got {retry_delay}")
+        self.shards = [_check_address(s) for s in shards]
+        self.slices = [
+            KeyspaceSlice.for_shard(i, len(self.shards))
+            for i in range(len(self.shards))
+        ]
+        self.retries = retries
+        self.retry_delay = retry_delay
+        self.proxy_timeout = proxy_timeout
+        self.quiet = quiet
+        super().__init__(address, _GatewayHandler)
+
+    def forward(
+        self, index: int, method: str, path: str, data: bytes | None = None
+    ) -> tuple[int, Any, dict[str, str]]:
+        """Proxy one request to shard ``index``; retry on a dead shard.
+
+        Returns ``(status, json payload, response headers)``.  An HTTP
+        error status from a *live* shard is a valid answer and passes
+        through; only connection-level failures are retried, and
+        exhaustion raises :class:`ShardUnreachableError`.
+        """
+        url = f"http://{self.shards[index]}{path}"
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(url, data=data, method=method)
+            if data is not None:
+                request.add_header("Content-Type", "application/json")
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.proxy_timeout
+                ) as response:
+                    return (
+                        response.status,
+                        json.loads(response.read()),
+                        dict(response.headers),
+                    )
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read())
+                except ValueError:
+                    payload = {"error": f"shard {index} returned HTTP {exc.code}"}
+                return exc.code, payload, dict(exc.headers or {})
+            except OSError as exc:  # URLError, ConnectionError, timeouts
+                last_error = exc
+                if attempt < self.retries:
+                    time.sleep(self.retry_delay)
+        raise ShardUnreachableError(
+            f"shard {index} ({self.shards[index]}) unreachable after "
+            f"{self.retries + 1} attempt(s): {last_error}"
+        )
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    server: GatewayHTTPServer
+
+    # -- helpers --------------------------------------------------------
+
+    def _send(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _gateway_id(self, index: int, job_id: str) -> str:
+        return f"s{index}.{job_id}"
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        if parts == ["health"] or not parts:
+            self._health()
+        elif parts == ["jobs"]:
+            self._jobs_listing()
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._job(parts[1])
+        elif len(parts) == 2 and parts[0] == "registries":
+            self._registry(parts[1])
+        else:
+            self._error(404, f"no route for GET {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        from ..http import parse_job_body
+
+        if urlsplit(self.path).path.rstrip("/") != "/jobs":
+            self._error(404, f"no route for POST {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise ValueError("request body is empty; send a JSON object")
+            if length > _MAX_BODY:
+                raise ValueError(f"request body too large ({length} bytes)")
+            raw = self.rfile.read(length)
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            scenario, replica = parse_job_body(body)
+        except (MappingError, TypeError, ValueError) as exc:
+            self._error(400, str(exc))
+            return
+        fingerprint = scenario_fingerprint(scenario, replica)
+        index = shard_for_fingerprint(fingerprint, len(self.server.shards))
+        try:
+            status, payload, headers = self.server.forward(
+                index, "POST", "/jobs", data=raw
+            )
+        except ShardUnreachableError as exc:
+            self._error(502, str(exc))
+            return
+        if isinstance(payload, dict) and "id" in payload:
+            payload["id"] = self._gateway_id(index, payload["id"])
+            payload["shard"] = index
+        relay = {}
+        if "Retry-After" in headers:
+            relay["Retry-After"] = headers["Retry-After"]
+        self._send(status, payload, headers=relay)
+
+    def _job(self, gateway_id: str) -> None:
+        match = _GATEWAY_ID.fullmatch(gateway_id)
+        if match is None:
+            self._error(
+                404,
+                f"unknown job {gateway_id!r} (gateway job ids look like "
+                "'s0.job-1')",
+            )
+            return
+        index, job_id = int(match.group(1)), match.group(2)
+        if index >= len(self.server.shards):
+            self._error(404, f"unknown shard {index} in job id {gateway_id!r}")
+            return
+        try:
+            status, payload, _ = self.server.forward(
+                index, "GET", f"/jobs/{job_id}"
+            )
+        except ShardUnreachableError as exc:
+            self._error(502, str(exc))
+            return
+        if isinstance(payload, dict) and "id" in payload:
+            payload["id"] = self._gateway_id(index, payload["id"])
+            payload["shard"] = index
+        self._send(status, payload)
+
+    def _jobs_listing(self) -> None:
+        jobs: list[dict[str, Any]] = []
+        unreachable: list[int] = []
+        for index in range(len(self.server.shards)):
+            try:
+                status, payload, _ = self.server.forward(index, "GET", "/jobs")
+            except ShardUnreachableError:
+                unreachable.append(index)
+                continue
+            if status == 200 and isinstance(payload, dict):
+                for job in payload.get("jobs", []):
+                    job = dict(job)
+                    job["id"] = self._gateway_id(index, job["id"])
+                    job["shard"] = index
+                    jobs.append(job)
+        self._send(200, {"jobs": jobs, "unreachable_shards": unreachable})
+
+    def _registry(self, kind: str) -> None:
+        for index in range(len(self.server.shards)):
+            try:
+                status, payload, _ = self.server.forward(
+                    index, "GET", f"/registries/{kind}"
+                )
+            except ShardUnreachableError:
+                continue
+            self._send(status, payload)
+            return
+        self._error(502, "no shard reachable for the registry listing")
+
+    def _health(self) -> None:
+        shards: list[dict[str, Any]] = []
+        healthy = 0
+        totals = {
+            "executed": 0,
+            "jobs": 0,
+            "queue_depth": 0,
+            "queue_active": 0,
+            "store_records": 0,
+        }
+        for index, address in enumerate(self.server.shards):
+            entry: dict[str, Any] = {
+                "shard": index,
+                "address": address,
+                "slice": self.server.slices[index].to_dict(),
+            }
+            try:
+                status, payload, _ = self.server.forward(index, "GET", "/health")
+            except ShardUnreachableError as exc:
+                entry["healthy"] = False
+                entry["error"] = str(exc)
+            else:
+                entry["healthy"] = status == 200
+                entry["health"] = payload
+                if status == 200 and isinstance(payload, dict):
+                    healthy += 1
+                    totals["executed"] += payload.get("executed", 0)
+                    totals["jobs"] += payload.get("jobs", {}).get("total", 0)
+                    queue = payload.get("queue", {})
+                    totals["queue_depth"] += queue.get("depth", 0)
+                    totals["queue_active"] += queue.get("active", 0)
+                    store = payload.get("store") or {}
+                    totals["store_records"] += store.get("records", 0)
+            shards.append(entry)
+        self._send(
+            200,
+            {
+                "role": "gateway",
+                "status": "ok" if healthy == len(shards) else "degraded",
+                "shard_count": len(shards),
+                "healthy_shards": healthy,
+                "totals": totals,
+                "shards": shards,
+            },
+        )
+
+
+def make_gateway(
+    shards: list[str],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    retries: int = 2,
+    retry_delay: float = 0.25,
+    proxy_timeout: float = 120.0,
+    quiet: bool = True,
+) -> GatewayHTTPServer:
+    """Bind (not start) a gateway; ``port=0`` picks an ephemeral port.
+
+    Same ownership contract as :func:`repro.service.make_server`: the
+    caller runs ``serve_forever()`` and stops it with ``shutdown()``.
+    """
+    return GatewayHTTPServer(
+        (host, port),
+        shards,
+        retries=retries,
+        retry_delay=retry_delay,
+        proxy_timeout=proxy_timeout,
+        quiet=quiet,
+    )

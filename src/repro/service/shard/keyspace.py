@@ -1,0 +1,114 @@
+"""Fingerprint-prefix keyspace slicing: which shard owns which result.
+
+Fingerprints are SHA-256 hex digests (see
+:mod:`repro.service.fingerprint`), so their leading bits are uniformly
+distributed over any workload.  Routing therefore needs no directory
+service: the first four hex characters (16 bits, ``KEYSPACE_BUCKETS``
+buckets) of a fingerprint map straight to a shard index, and every
+shard's ownership is a contiguous half-open bucket range — a
+:class:`KeyspaceSlice`.
+
+The two directions are consistent *by construction*:
+``shard_for_fingerprint(fp, n)`` computes ``bucket * n // BUCKETS`` and
+``KeyspaceSlice.for_shard(i, n)`` is exactly the preimage of ``i`` under
+that map, so the gateway's routing decision and a shard's 421
+enforcement can never disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ...utils import MappingError
+
+__all__ = [
+    "KEYSPACE_BUCKETS",
+    "KeyspaceSlice",
+    "fingerprint_bucket",
+    "shard_for_fingerprint",
+]
+
+#: Granularity of the routed keyspace: the first 4 hex chars = 16 bits.
+KEYSPACE_PREFIX_HEX = 4
+KEYSPACE_BUCKETS = 1 << (4 * KEYSPACE_PREFIX_HEX)
+
+
+def fingerprint_bucket(fingerprint: str) -> int:
+    """The routing bucket (leading 16 bits) of a hex fingerprint."""
+    if len(fingerprint) < KEYSPACE_PREFIX_HEX:
+        raise MappingError(
+            f"fingerprint {fingerprint!r} is too short to route "
+            f"(need >= {KEYSPACE_PREFIX_HEX} hex chars)"
+        )
+    try:
+        return int(fingerprint[:KEYSPACE_PREFIX_HEX], 16)
+    except ValueError:
+        raise MappingError(
+            f"fingerprint {fingerprint!r} is not a hex digest"
+        ) from None
+
+
+def _check_shard_count(count: int) -> None:
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise MappingError(f"shard count must be an int >= 1, got {count!r}")
+    if count > KEYSPACE_BUCKETS:
+        raise MappingError(
+            f"shard count {count} exceeds the {KEYSPACE_BUCKETS} routing "
+            "buckets (first 16 fingerprint bits)"
+        )
+
+
+def shard_for_fingerprint(fingerprint: str, count: int) -> int:
+    """Which of ``count`` shards owns ``fingerprint`` (0-based)."""
+    _check_shard_count(count)
+    return fingerprint_bucket(fingerprint) * count // KEYSPACE_BUCKETS
+
+
+@dataclass(frozen=True)
+class KeyspaceSlice:
+    """A contiguous, half-open bucket range ``[lo, hi)`` a shard owns."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.lo < self.hi <= KEYSPACE_BUCKETS):
+            raise MappingError(
+                f"invalid keyspace slice [{self.lo}, {self.hi}); need "
+                f"0 <= lo < hi <= {KEYSPACE_BUCKETS}"
+            )
+
+    @classmethod
+    def for_shard(cls, index: int, count: int) -> "KeyspaceSlice":
+        """Shard ``index``-of-``count``'s slice, consistent with
+        :func:`shard_for_fingerprint`: the slice is exactly the set of
+        buckets that map to ``index``."""
+        _check_shard_count(count)
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise MappingError(f"shard index must be an int, got {index!r}")
+        if not (0 <= index < count):
+            raise MappingError(
+                f"shard index {index} out of range for {count} shard(s)"
+            )
+        # ceil(i * B / n): the first bucket p with p*n//B == i.
+        lo = -(-index * KEYSPACE_BUCKETS // count)
+        hi = -(-(index + 1) * KEYSPACE_BUCKETS // count)
+        return cls(lo, hi)
+
+    def contains(self, fingerprint: str) -> bool:
+        return self.lo <= fingerprint_bucket(fingerprint) < self.hi
+
+    def describe(self) -> str:
+        """Operator-facing hex form, e.g. ``[0000, 8000)``."""
+        width = KEYSPACE_PREFIX_HEX
+        return f"[{self.lo:0{width}x}, {self.hi:0{width}x})"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form for ``GET /health``."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets": KEYSPACE_BUCKETS,
+            "hex": self.describe(),
+        }

@@ -1,12 +1,18 @@
-"""Durable result store: fingerprint -> MapOutcome, as append-only JSONL.
+"""Durable result store: fingerprint -> MapOutcome, over a pluggable backend.
 
 The store is the persistence layer under the service cache.  Every
 completed computation appends one canonical record
-``{"fingerprint": ..., "outcome": {...}}`` (flushed immediately, via
-:func:`repro.io.jsonl.write_record`), so a killed service leaves a
-readable prefix and the next start recovers every finished result
-through the tail-tolerant :func:`repro.io.jsonl.read_jsonl` reader —
-exactly the crash model the sweep checkpoints already use.
+``{"fingerprint": ..., "outcome": {...}}`` through a
+:class:`~repro.service.backends.StoreBackend` — append-only JSONL by
+default, SQLite (WAL) for stores that need concurrent multi-process
+writers — so a killed service leaves a recoverable store and the next
+start re-serves every finished result without recomputation.
+
+Durability is explicit: the default ``sync="always"`` policy fsyncs
+(or ``synchronous=FULL``-commits) every append before ``put`` returns,
+so a job acknowledged as done survives a crash of the whole machine;
+``sync="never"`` trades that for lower write latency (see
+:mod:`repro.service.backends`).
 
 Outcomes round-trip *losslessly*: :func:`outcome_to_dict` /
 :func:`outcome_from_dict` preserve every :class:`MapOutcome` field
@@ -18,14 +24,14 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Any, TextIO
+from typing import Any
 
 import numpy as np
 
 from ..api.outcome import MapOutcome
 from ..core.assignment import Assignment
-from ..io.jsonl import read_jsonl, write_record
 from ..utils import MappingError
+from .backends import StoreBackend, open_backend
 
 __all__ = ["ResultStore", "outcome_from_dict", "outcome_to_dict"]
 
@@ -68,38 +74,59 @@ def outcome_from_dict(data: dict[str, Any]) -> MapOutcome:
 
 
 class ResultStore:
-    """Append-only fingerprint -> outcome store that survives restarts.
+    """Fingerprint -> outcome store that survives restarts.
 
     Parameters
     ----------
     path:
-        JSONL file; created on first write.  An existing file (even one
-        with a torn final line from a crash) is loaded at construction
-        and its results are served without recomputation.  ``None``
-        keeps the store purely in memory.
+        Backing file; created on first write (JSONL) or at open
+        (SQLite).  An existing store — even one torn by a crash — is
+        recovered at construction and its results are served without
+        recomputation.  ``None`` keeps the store purely in memory.
+    backend:
+        ``"jsonl"``, ``"sqlite"``, an already-open
+        :class:`~repro.service.backends.StoreBackend`, or ``"auto"``
+        (the default: pick by path suffix — ``.db``/``.sqlite``/
+        ``.sqlite3`` mean SQLite, anything else JSONL).
+    sync:
+        Durability policy, ``"always"`` (fsync every append; the
+        default) or ``"never"`` (flush only).
 
     The store is thread-safe: the HTTP front-end's worker threads and
-    pool completion callbacks may read and write concurrently.
+    pool completion callbacks may read and write concurrently.  The
+    JSONL backend additionally enforces a single *writer process* via a
+    ``<path>.lock`` file; use the SQLite backend when several processes
+    must append to one store.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
-        self._path = Path(path) if path is not None else None
-        self._records: dict[str, dict[str, Any]] = {}
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        backend: str | StoreBackend = "auto",
+        sync: str = "always",
+    ) -> None:
+        self._backend: StoreBackend | None = None
+        if path is not None:
+            if isinstance(backend, str):
+                self._backend = open_backend(path, backend=backend, sync=sync)
+            else:
+                self._backend = backend
+        self._records: dict[str, dict[str, Any]] = (
+            self._backend.load() if self._backend is not None else {}
+        )
         self._lock = threading.Lock()
-        self._fh: TextIO | None = None
         self._closed = False
-        self.recovered = 0
-        if self._path is not None and self._path.exists():
-            for record in read_jsonl(self._path, tolerate_partial=True):
-                fp = record.get("fingerprint")
-                outcome = record.get("outcome")
-                if isinstance(fp, str) and isinstance(outcome, dict):
-                    self._records.setdefault(fp, outcome)
-            self.recovered = len(self._records)
+        self.recovered = len(self._records)
 
     @property
     def path(self) -> Path | None:
-        return self._path
+        return self._backend.path if self._backend is not None else None
+
+    @property
+    def backend_name(self) -> str | None:
+        """The persistence backend in use (``None`` for memory-only)."""
+        return self._backend.name if self._backend is not None else None
 
     def __len__(self) -> int:
         with self._lock:
@@ -128,21 +155,17 @@ class ResultStore:
             if self._closed or fingerprint in self._records:
                 return False
             self._records[fingerprint] = data
-            if self._path is not None:
-                if self._fh is None:
-                    self._path.parent.mkdir(parents=True, exist_ok=True)
-                    self._fh = self._path.open("a")
-                write_record(self._fh, {"fingerprint": fingerprint, "outcome": data})
+            if self._backend is not None:
+                self._backend.append(fingerprint, data)
         return True
 
     def close(self) -> None:
-        """Flush and close the file; later ``put`` calls are refused."""
+        """Flush and close the backend; later ``put`` calls are refused."""
         with self._lock:
             self._closed = True
-            if self._fh is not None:
-                self._fh.close()
-                self._fh = None
+            if self._backend is not None:
+                self._backend.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        where = str(self._path) if self._path else "memory"
+        where = str(self.path) if self._backend is not None else "memory"
         return f"ResultStore({where!r}, results={len(self)})"

@@ -1,0 +1,348 @@
+"""Tests for the pluggable store backends (repro.service.backends).
+
+Covers the StoreBackend contract both implementations must honor:
+byte-identical outcome round-trips, torn-write recovery, the explicit
+sync durability policy, JSONL's single-writer lock, and SQLite's
+concurrent multi-process appends.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.io.jsonl import read_jsonl
+from repro.service import (
+    JsonlBackend,
+    ResultStore,
+    SqliteBackend,
+    StoreBackend,
+    StoreLockedError,
+    open_backend,
+    outcome_to_dict,
+)
+from repro.service.fingerprint import canonical_json
+from repro.utils import GraphError, MappingError
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def make_outcome(i=0):
+    from repro.api.outcome import MapOutcome
+
+    return MapOutcome(
+        mapper="critical",
+        assignment=Assignment(np.array([2, 0, 3, 1], dtype=np.int64)),
+        total_time=10 + i,
+        lower_bound=8,
+        evaluations=3,
+        reached_lower_bound=False,
+        wall_time=0.125,
+        extras={"trials": 2.0},
+        metrics={"hop_bytes": 7.0},
+    )
+
+
+def run_child(code: str) -> subprocess.CompletedProcess:
+    """Run a python snippet in a fresh process with the repo importable."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env
+    )
+
+
+CHILD_PRELUDE = """
+import numpy as np
+from repro.api.outcome import MapOutcome
+from repro.core.assignment import Assignment
+from repro.service import ResultStore
+
+def make_outcome(i=0):
+    return MapOutcome(
+        mapper="critical",
+        assignment=Assignment(np.array([2, 0, 3, 1], dtype=np.int64)),
+        total_time=10 + i, lower_bound=8, evaluations=3,
+        reached_lower_bound=False, wall_time=0.125,
+        extras={"trials": 2.0}, metrics={"hop_bytes": 7.0},
+    )
+"""
+
+
+def store_file(tmp_path, backend):
+    suffix = {"jsonl": "jsonl", "sqlite": "db"}[backend]
+    return tmp_path / f"store.{suffix}"
+
+
+@pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+class TestBackendContract:
+    def test_round_trip_byte_identical(self, tmp_path, backend):
+        path = store_file(tmp_path, backend)
+        outcome = make_outcome()
+        want = canonical_json(outcome_to_dict(outcome))
+        store = ResultStore(path, backend=backend)
+        assert store.backend_name == backend
+        assert store.put("fp1", outcome)
+        assert not store.put("fp1", outcome)  # first write wins
+        store.close()
+
+        reopened = ResultStore(path, backend=backend)
+        assert reopened.recovered == 1
+        got = reopened.get("fp1")
+        assert canonical_json(outcome_to_dict(got)) == want
+        assert got.wall_time == outcome.wall_time
+        assert got.metrics == outcome.metrics
+        reopened.close()
+
+    def test_auto_backend_picked_by_suffix(self, tmp_path, backend):
+        path = store_file(tmp_path, backend)
+        store = ResultStore(path)  # backend="auto"
+        assert store.backend_name == backend
+        store.close()
+
+    def test_put_after_close_refused(self, tmp_path, backend):
+        path = store_file(tmp_path, backend)
+        store = ResultStore(path, backend=backend)
+        assert store.put("fp1", make_outcome())
+        store.close()
+        assert not store.put("fp2", make_outcome())
+        again = ResultStore(path, backend=backend)
+        assert again.recovered == 1
+        again.close()
+
+    def test_crash_durability_with_sync_always(self, tmp_path, backend):
+        """A record acknowledged before a hard kill survives the restart."""
+        path = store_file(tmp_path, backend)
+        result = run_child(
+            CHILD_PRELUDE
+            + f"""
+import os
+store = ResultStore({str(path)!r}, backend={backend!r}, sync="always")
+assert store.put("fp-crash", make_outcome())
+os._exit(1)  # no close(), no atexit: a hard crash
+"""
+        )
+        assert result.returncode == 1, result.stderr
+        store = ResultStore(path, backend=backend)
+        assert store.recovered == 1
+        assert "fp-crash" in store
+        store.close()
+
+    def test_sync_never_accepted(self, tmp_path, backend):
+        path = store_file(tmp_path, backend)
+        store = ResultStore(path, backend=backend, sync="never")
+        assert store.put("fp1", make_outcome())
+        store.close()
+        reopened = ResultStore(path, backend=backend)
+        assert reopened.recovered == 1
+        reopened.close()
+
+    def test_unknown_sync_policy_rejected(self, tmp_path, backend):
+        with pytest.raises(MappingError, match="sync policy"):
+            ResultStore(store_file(tmp_path, backend), backend=backend, sync="maybe")
+
+
+class TestJsonlBackend:
+    def put_records(self, path, n, start=0):
+        store = ResultStore(path, backend="jsonl")
+        for i in range(start, start + n):
+            store.put(f"fp{i}", make_outcome(i))
+        store.close()
+
+    def test_torn_tail_truncated_so_appends_are_safe(self, tmp_path):
+        """The satellite bugfix: a torn final record must be physically
+        dropped — otherwise the next append concatenates onto the
+        partial line and corrupts *both* records."""
+        path = tmp_path / "store.jsonl"
+        self.put_records(path, 2)
+        good_size = path.stat().st_size
+        with path.open("a") as fh:
+            fh.write('{"fingerprint": "fp-torn", "outcome": {"mapper": "cr')
+
+        store = ResultStore(path, backend="jsonl")
+        assert store.recovered == 2
+        assert "fp-torn" not in store
+        assert path.stat().st_size == good_size  # tail truncated on open
+        store.put("fp-new", make_outcome(9))
+        store.close()
+
+        # The file parses strictly now: no merged/corrupt line anywhere.
+        records = read_jsonl(path, tolerate_partial=False)
+        assert [r["fingerprint"] for r in records] == ["fp0", "fp1", "fp-new"]
+
+    def test_torn_terminated_garbage_tail_also_recovered(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self.put_records(path, 1)
+        with path.open("a") as fh:
+            fh.write('{"fingerprint": "fp-torn", "outco\n')
+        store = ResultStore(path, backend="jsonl")
+        assert store.recovered == 1
+        store.put("fp-new", make_outcome())
+        store.close()
+        assert len(read_jsonl(path, tolerate_partial=False)) == 2
+
+    def test_corrupt_mid_file_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self.put_records(path, 1)
+        good = path.read_text()
+        path.write_text("not json at all\n" + good)
+        with pytest.raises(GraphError, match="corrupt mid-file"):
+            ResultStore(path, backend="jsonl")
+
+    def test_single_writer_lock_same_process(self, tmp_path):
+        pytest.importorskip("fcntl")
+        path = tmp_path / "store.jsonl"
+        first = ResultStore(path, backend="jsonl")
+        with pytest.raises(StoreLockedError, match="single-writer"):
+            ResultStore(path, backend="jsonl")
+        first.close()
+        second = ResultStore(path, backend="jsonl")  # released on close
+        second.close()
+
+    def test_single_writer_lock_cross_process(self, tmp_path):
+        pytest.importorskip("fcntl")
+        path = tmp_path / "store.jsonl"
+        holder = ResultStore(path, backend="jsonl")
+        try:
+            result = run_child(
+                CHILD_PRELUDE
+                + f"""
+from repro.service import StoreLockedError
+try:
+    ResultStore({str(path)!r}, backend="jsonl")
+except StoreLockedError:
+    print("LOCKED")
+else:
+    print("NOT-LOCKED")
+"""
+            )
+            assert "LOCKED" in result.stdout, result.stderr
+        finally:
+            holder.close()
+
+
+class TestSqliteBackend:
+    def test_wal_mode_active(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "store.db"
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        conn.close()
+        assert mode.lower() == "wal"
+
+    def test_concurrent_multi_process_writers(self, tmp_path):
+        """Two processes appending to one SQLite store at once: every
+        record lands, shared fingerprints resolve first-write-wins."""
+        path = tmp_path / "store.db"
+        child = CHILD_PRELUDE + """
+store = ResultStore(PATH, backend="sqlite")
+for i in range(START, START + 20):
+    store.put(f"fp{i}", make_outcome(i))
+store.put("fp-shared", make_outcome(99))
+store.close()
+print("DONE")
+"""
+        env = os.environ.copy()
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    child.replace("PATH", repr(str(path))).replace(
+                        "START", str(start)
+                    ),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            for start in (0, 20)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert "DONE" in out
+
+        store = ResultStore(path)
+        assert store.recovered == 41  # 2 x 20 distinct + 1 shared
+        assert "fp-shared" in store
+        store.close()
+
+    def test_two_live_stores_same_db(self, tmp_path):
+        """Unlike JSONL, SQLite allows two concurrently-open writers."""
+        path = tmp_path / "store.db"
+        a = ResultStore(path)
+        b = ResultStore(path)
+        a.put("fpA", make_outcome(1))
+        b.put("fpB", make_outcome(2))
+        a.close()
+        b.close()
+        merged = ResultStore(path)
+        assert merged.recovered == 2
+        merged.close()
+
+    def test_unreadable_database_rejected(self, tmp_path):
+        path = tmp_path / "store.db"
+        path.write_text("this is not a sqlite database, not even close\n" * 10)
+        with pytest.raises(MappingError, match="SQLite"):
+            ResultStore(path)
+
+
+class TestOpenBackend:
+    def test_explicit_names(self, tmp_path):
+        jsonl = open_backend(tmp_path / "a.data", backend="jsonl")
+        assert isinstance(jsonl, JsonlBackend) and isinstance(jsonl, StoreBackend)
+        jsonl.close()
+        sqlite = open_backend(tmp_path / "b.data", backend="sqlite")
+        assert isinstance(sqlite, SqliteBackend) and isinstance(sqlite, StoreBackend)
+        sqlite.close()
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("store.jsonl", "jsonl"),
+            ("store.log", "jsonl"),
+            ("store.db", "sqlite"),
+            ("store.sqlite", "sqlite"),
+            ("store.SQLITE3", "sqlite"),
+        ],
+    )
+    def test_auto_by_suffix(self, tmp_path, name, expected):
+        backend = open_backend(tmp_path / name)
+        assert backend.name == expected
+        backend.close()
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(MappingError, match="unknown store backend"):
+            open_backend(tmp_path / "x.jsonl", backend="postgres")
+
+
+class TestServiceWithSqliteStore:
+    def test_service_recovers_sqlite_store(self, tmp_path):
+        """A MappingService over an SQLite store round-trips results
+        across a restart exactly like the JSONL original."""
+        from repro.clustering import RandomClusterer
+        from repro.service import MappingService
+        from repro.topology import hypercube
+        from repro.workloads import layered_random_dag
+
+        graph = layered_random_dag(num_tasks=16, rng=3)
+        system = hypercube(2)
+        clustering = RandomClusterer(num_clusters=system.num_nodes).cluster(
+            graph, rng=3
+        )
+        path = tmp_path / "service.db"
+        with MappingService(store_path=path) as svc:
+            first = svc.solve(graph, clustering, system, mapper="critical", rng=3)
+        with MappingService(store_path=path) as svc2:
+            again = svc2.solve(graph, clustering, system, mapper="critical", rng=3)
+            assert svc2.executed == 0  # recovered, not recomputed
+        assert outcome_to_dict(first) == outcome_to_dict(again)

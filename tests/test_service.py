@@ -195,7 +195,6 @@ class TestStore:
         assert store.put("fp1", outcome)
         store.close()
         assert not store.put("fp2", outcome)  # refused, no reopened handle
-        assert store._fh is None
         assert ResultStore(tmp_path / "s.jsonl").recovered == 1
 
 
