@@ -1,0 +1,246 @@
+"""Racing-overhead benchmark for the ``portfolio`` mapper.
+
+The portfolio races ``multilevel`` against ``annealing`` on the
+ROADMAP's pinned waste case — the instance where annealing burns a
+minute on what multilevel solves better in seconds — and must deliver
+the winner's exact result at close to the winner's solo cost:
+
+* **wall**: portfolio wall time <= 1.25x multilevel's solo wall on the
+  same instance (the race overhead: fork fan-out, checkpoint polling,
+  and the killed arm's pre-kill compute);
+* **quality**: the portfolio's communication volume equals the best
+  arm's bit-for-bit (never-killed arms are never stop-signaled, so the
+  winner's outcome is identical to a solo run with the same arm seed).
+
+Two modes:
+
+* default — one row per ``--sizes`` entry on ``--topology`` (default
+  ``hypercube:6``); records ``benchmarks/results/bench_portfolio.txt``
+  and exits 1 if the largest size fails the acceptance invariant.
+* ``--smoke`` — the pinned 5k-task acceptance instance itself; with
+  ``--json-out FILE`` it emits a machine-readable report
+  (``wall_ratio``, ``comm_ratio``, ``failures``) that
+  ``benchmarks/check_budgets.py`` checks against the ``portfolio``
+  entry in ``benchmarks/budgets.json``.
+
+Run from the repo root::
+
+    python benchmarks/bench_portfolio.py                  # full table
+    python benchmarks/bench_portfolio.py --sizes 1000,5000
+    python benchmarks/bench_portfolio.py --smoke --json-out BENCH_portfolio.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import build_topology, get_mapper
+from repro.clustering import RandomClusterer
+from repro.core import ClusteredGraph, evaluate_assignment
+from repro.portfolio import arm_seeds
+from repro.workloads import layered_random_dag
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_portfolio.txt"
+
+#: The pinned arm list: the paper's central trade-off, constructive
+#: multilevel vs. iterative annealing, racing on communication volume.
+ARMS = [["multilevel", {"refine_metric": "comm_volume"}], ["annealing", {}]]
+OBJECTIVE = "comm_volume"
+
+
+def build_instance(num_tasks: int, topology: str, seed: int):
+    system = build_topology(topology)
+    graph = layered_random_dag(num_tasks=num_tasks, rng=seed)
+    clustering = RandomClusterer(system.num_nodes).cluster(graph, rng=seed)
+    return ClusteredGraph(graph, clustering), system
+
+
+def run_solo(clustered, system, seed: int) -> dict:
+    """Multilevel alone, seeded exactly like portfolio arm 0."""
+    mapper = get_mapper(ARMS[0][0], **ARMS[0][1])
+    start = time.perf_counter()
+    outcome = mapper.map(clustered, system, rng=arm_seeds(seed, len(ARMS))[0])
+    wall = time.perf_counter() - start
+    schedule = evaluate_assignment(clustered, system, outcome.assignment)
+    return {
+        "wall_time": wall,
+        "comm_volume": int(schedule.communication_volume()),
+        "placement": outcome.assignment.placement,
+    }
+
+
+def run_portfolio(clustered, system, seed: int) -> dict:
+    mapper = get_mapper("portfolio", arms=ARMS, objective=OBJECTIVE)
+    start = time.perf_counter()
+    outcome = mapper.map(clustered, system, rng=seed)
+    wall = time.perf_counter() - start
+    schedule = evaluate_assignment(clustered, system, outcome.assignment)
+    return {
+        "wall_time": wall,
+        "comm_volume": int(schedule.communication_volume()),
+        "placement": outcome.assignment.placement,
+        "diagnostics": outcome.portfolio,
+    }
+
+
+def measure(num_tasks: int, topology: str, seed: int) -> dict:
+    """One instance: solo first (and a throwaway warm-up solve so the
+    solo wall is not inflated by first-run allocator costs), then the
+    race.  The solo run doubles as the bit-identity reference."""
+    clustered, system = build_instance(num_tasks, topology, seed)
+    warm_c, warm_s = build_instance(200, "hypercube:3", seed)
+    get_mapper(ARMS[0][0], **ARMS[0][1]).map(warm_c, warm_s, rng=0)
+    solo = run_solo(clustered, system, seed)
+    race = run_portfolio(clustered, system, seed)
+    wall_ratio = race["wall_time"] / max(solo["wall_time"], 1e-9)
+    comm_ratio = race["comm_volume"] / max(solo["comm_volume"], 1)
+    identical = bool(np.array_equal(race["placement"], solo["placement"]))
+    return {
+        "solo": solo,
+        "portfolio": race,
+        "wall_ratio": wall_ratio,
+        "comm_ratio": comm_ratio,
+        "identical": identical,
+    }
+
+
+def acceptance(row: dict) -> tuple[bool, str]:
+    wall_ok = row["wall_ratio"] <= 1.25
+    quality_ok = row["identical"] and row["comm_ratio"] == 1.0
+    verdict = (
+        f"portfolio wall {row['portfolio']['wall_time']:.2f}s vs solo "
+        f"{row['solo']['wall_time']:.2f}s = {row['wall_ratio']:.2f}x "
+        f"({'ok' if wall_ok else 'OVER 1.25x'}); comm "
+        f"{row['portfolio']['comm_volume']} vs {row['solo']['comm_volume']} "
+        f"({'bit-identical' if quality_ok else 'MISMATCH'})"
+    )
+    return wall_ok and quality_ok, verdict
+
+
+def format_rows(size: int, topology: str, row: dict) -> list[str]:
+    lines = [f"{size} tasks on {topology}:"]
+    lines.append(
+        f"  solo       comm={row['solo']['comm_volume']:>8} "
+        f"wall={row['solo']['wall_time']:>8.3f}s"
+    )
+    lines.append(
+        f"  portfolio  comm={row['portfolio']['comm_volume']:>8} "
+        f"wall={row['portfolio']['wall_time']:>8.3f}s "
+        f"ratio={row['wall_ratio']:.3f}"
+    )
+    for arm in row["portfolio"]["diagnostics"].get("arms", []):
+        status = arm["status"]
+        detail = (
+            f" kill_iteration={arm['kill_iteration']}"
+            if status == "killed"
+            else ""
+        )
+        lines.append(f"    arm {arm['arm']} {arm['mapper']:<10} {status}{detail}")
+    return lines
+
+
+def full(sizes: list[int], topology: str, seed: int, record: bool) -> int:
+    report_lines = [
+        "Portfolio racing vs the best solo arm (benchmarks/bench_portfolio.py)",
+        f"workload: layered_random, clusterer: random, arms: "
+        f"{[a[0] for a in ARMS]}, objective: {OBJECTIVE}, seed: {seed}",
+    ]
+    last_row: dict = {}
+    for size in sizes:
+        row = measure(size, topology, seed)
+        last_row = row
+        lines = format_rows(size, topology, row)
+        print("\n".join(lines))
+        report_lines.extend(lines)
+    ok, verdict = acceptance(last_row)
+    line = f"acceptance ({sizes[-1]} tasks): {verdict}"
+    print(line)
+    report_lines.append(line)
+    report_lines.append(f"acceptance {'PASSED' if ok else 'FAILED'}")
+    if record:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text("\n".join(report_lines) + "\n")
+        print(f"[recorded -> {RESULTS_PATH}]")
+    return 0 if ok else 1
+
+
+def smoke(tasks: int, topology: str, seed: int, json_out: str | None) -> int:
+    started = time.perf_counter()
+    row = measure(tasks, topology, seed)
+    elapsed = time.perf_counter() - started
+    print("\n".join(format_rows(tasks, topology, row)))
+    ok, verdict = acceptance(row)
+    print(f"{verdict} elapsed={elapsed:.2f}s")
+    if json_out is not None:
+        report = {
+            "bench": "portfolio",
+            "mode": "smoke",
+            "tasks": tasks,
+            "topology": topology,
+            "seed": seed,
+            "elapsed_seconds": elapsed,
+            "solo": {k: row["solo"][k] for k in ("wall_time", "comm_volume")},
+            "portfolio": {
+                k: row["portfolio"][k] for k in ("wall_time", "comm_volume")
+            },
+            "arms": row["portfolio"]["diagnostics"].get("arms", []),
+            "wall_ratio": row["wall_ratio"],
+            "comm_ratio": row["comm_ratio"],
+            "failures": 0 if ok else 1,
+        }
+        Path(json_out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[json report -> {json_out}]")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="1000,5000",
+        help="comma-separated task counts for the full table",
+    )
+    parser.add_argument("--topology", default="hypercube:6", help="topology spec")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the pinned acceptance instance; --json-out feeds the CI gate",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=5000, help="smoke-mode instance size"
+    )
+    parser.add_argument(
+        "--smoke-topology", default="hypercube:6", help="smoke-mode topology"
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write a machine-readable smoke report for the CI budget gate",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true", help="do not write the results file"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke(args.tasks, args.smoke_topology, args.seed, args.json_out)
+    if args.json_out is not None:
+        parser.error("--json-out is a --smoke option (the CI gate input)")
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    if not sizes:
+        parser.error(f"--sizes needs at least one task count, got {args.sizes!r}")
+    return full(sizes, args.topology, args.seed, record=not args.no_record)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,14 +8,23 @@ original signatures and result types — the adapters call them, they do
 not replace them.
 
 Registered names: ``critical``, ``random``, ``bokhari``, ``lee``,
-``annealing``, ``quenching``, ``genetic``, ``tabu``, ``multilevel``.
+``annealing``, ``quenching``, ``genetic``, ``tabu``, ``multilevel``,
+``portfolio``.
 
 ``multilevel`` is the first *composing* mapper: its ``initial=`` /
 ``initial_params=`` parameters name another registered mapper that
 solves the coarsest level of the hierarchy (see
 :mod:`repro.core.multilevel`), so its parameter set nests a full
 sub-mapper configuration — which the service fingerprint canonicalizes
-recursively, keeping cache keys exact.
+recursively, keeping cache keys exact.  ``portfolio`` composes further:
+it races a whole list of configured mappers (:mod:`repro.portfolio`)
+and returns the winner's outcome.
+
+The iterative adapters additionally pick up the process-wide anytime
+reporter (:func:`repro.core.anytime.active_reporter`) installed by the
+portfolio racer, threading it into their underlying algorithms; the
+``anytime_label`` class attribute names the objective their checkpoint
+values measure.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from ..baselines.genetic import genetic_mapping
 from ..baselines.lee_aggarwal import lee_mapping
 from ..baselines.random_map import average_random_mapping
 from ..baselines.tabu import tabu_mapping
+from ..core.anytime import active_reporter
 from ..core.clustered import ClusteredGraph
 from ..core.evaluate import total_time
 from ..core.ideal import ideal_schedule
@@ -50,6 +60,7 @@ __all__ = [
     "GeneticAdapter",
     "TabuAdapter",
     "MultilevelAdapter",
+    "PortfolioAdapter",
 ]
 
 
@@ -215,6 +226,7 @@ class _AnnealBase:
     """Shared plumbing of the annealing and quenching adapters."""
 
     quench = False
+    anytime_label = "total_time"
 
     def __init__(
         self,
@@ -246,6 +258,7 @@ class _AnnealBase:
                 moves_per_temperature=self.moves_per_temperature,
                 min_temperature=self.min_temperature,
                 quench=self.quench,
+                reporter=active_reporter(),
             )
         return MapOutcome(
             mapper=self.name,
@@ -273,6 +286,8 @@ class QuenchingAdapter(_AnnealBase):
 @register_mapper("genetic")
 class GeneticAdapter:
     """Permutation GA (order crossover, tournament selection, elitism)."""
+
+    anytime_label = "total_time"
 
     def __init__(
         self,
@@ -306,6 +321,7 @@ class GeneticAdapter:
                 mutation_rate=self.mutation_rate,
                 tournament=self.tournament,
                 lower_bound=bound,
+                reporter=active_reporter(),
             )
         return MapOutcome(
             mapper=self.name,
@@ -391,6 +407,11 @@ class MultilevelAdapter:
         # fail here, not in a worker process mid-batch.
         self._sub = get_mapper(initial, **self.initial_params)
 
+    @property
+    def anytime_label(self) -> str:
+        """Checkpoint values measure the refinement objective."""
+        return self.refine_metric
+
     def map(
         self,
         clustered: ClusteredGraph,
@@ -419,6 +440,7 @@ class MultilevelAdapter:
                 refine_passes=self.refine_passes,
                 refine_metric=self.refine_metric,
                 rng=rng,
+                reporter=active_reporter(),
             )
             sub = sub_outcomes[0]
             # Without coarsening the sub-mapper solved the original
@@ -456,6 +478,8 @@ class MultilevelAdapter:
 class TabuAdapter:
     """Best-improvement tabu search over pairwise swaps."""
 
+    anytime_label = "total_time"
+
     def __init__(self, iterations: int = 40, tenure: int | None = None) -> None:
         self.iterations = iterations
         self.tenure = tenure
@@ -475,6 +499,7 @@ class TabuAdapter:
                 iterations=self.iterations,
                 tenure=self.tenure,
                 lower_bound=bound,
+                reporter=active_reporter(),
             )
         return MapOutcome(
             mapper=self.name,
@@ -485,4 +510,196 @@ class TabuAdapter:
             reached_lower_bound=result.reached_lower_bound,
             wall_time=sw.elapsed,
             extras={"iterations": float(result.iterations)},
+        )
+
+
+@register_mapper("portfolio")
+class PortfolioAdapter:
+    """Race K configured mappers; return the winner's outcome.
+
+    Arms run concurrently on the service's warm pool (or a private one
+    inside a worker), stream anytime checkpoints, and dominated arms are
+    stop-signaled early (:func:`repro.portfolio.racing.race`).  Kill
+    decisions are keyed to checkpoint ordinals — never wall-clock — so
+    the winner and the recorded diagnostics are bit-reproducible at any
+    worker count, and the winner's assignment/makespan are bit-identical
+    to running that arm alone with the same derived seed.
+
+    Parameters
+    ----------
+    arms:
+        The competitors: a list whose entries are a registry name, a
+        ``{"name": ..., "params": {...}}`` mapping, or a ``(name,
+        params)`` pair — at least two, and ``portfolio`` itself is
+        rejected (a race must not nest a race).  The default ``"auto"``
+        asks the default service's recommender for the learned best
+        configurations of this instance's (workload, topology) family,
+        padding with :data:`repro.portfolio.recommend.DEFAULT_ARMS` when
+        history is thin; auto mode depends on mutable history, so the
+        service never caches its results (``cacheable = False``).
+    objective:
+        What "better" means across arms: ``total_time`` (default) or
+        ``comm_volume``.
+    kill_ratio:
+        An arm dies at a budget-doubling checkpoint when its best value
+        exceeds this multiple of the best rival's (>= 1.0).
+    max_auto_arms:
+        Cap on history-derived arms in auto mode (>= 2).
+    """
+
+    def __init__(
+        self,
+        arms: object = "auto",
+        objective: str = "total_time",
+        kill_ratio: float = 1.5,
+        max_auto_arms: int = 3,
+    ) -> None:
+        from ..portfolio.racing import OBJECTIVES
+
+        if objective not in OBJECTIVES:
+            raise MappingError(
+                f"unknown portfolio objective {objective!r}; "
+                f"available: {', '.join(OBJECTIVES)}"
+            )
+        if kill_ratio < 1.0:
+            raise MappingError(f"kill_ratio must be >= 1.0, got {kill_ratio}")
+        if max_auto_arms < 2:
+            raise MappingError(f"max_auto_arms must be >= 2, got {max_auto_arms}")
+        self.arms = arms if isinstance(arms, str) else self._normalize(arms)
+        self.objective = objective
+        self.kill_ratio = float(kill_ratio)
+        self.max_auto_arms = int(max_auto_arms)
+        if isinstance(self.arms, str):
+            if self.arms != "auto":
+                raise MappingError(
+                    f"portfolio arms must be 'auto' or a list of arm specs, "
+                    f"got {arms!r}"
+                )
+            # Auto arms come from recorded history, which changes as the
+            # store grows — the service must not cache these outcomes.
+            self.cacheable = False
+            self._arms = None
+        else:
+            self._arms = self._build(self.arms)
+
+    @staticmethod
+    def _normalize(arms: object) -> list[tuple[str, dict[str, object]]]:
+        """Accept the same arm spellings the scenario axes use."""
+        if isinstance(arms, Mapping) or not isinstance(arms, (list, tuple)):
+            raise MappingError(
+                f"portfolio arms must be 'auto' or a list of arm specs, "
+                f"got {arms!r}"
+            )
+        specs: list[tuple[str, dict[str, object]]] = []
+        for choice in arms:
+            if isinstance(choice, str):
+                name, params = choice, {}
+            elif isinstance(choice, Mapping):
+                extra = sorted(set(choice) - {"name", "params"})
+                if "name" not in choice or extra:
+                    raise MappingError(
+                        f"portfolio arm mappings need a 'name' and optional "
+                        f"'params', got {dict(choice)!r}"
+                    )
+                name, params = choice["name"], dict(choice.get("params") or {})
+            elif isinstance(choice, (list, tuple)) and len(choice) == 2:
+                name, params = choice[0], dict(choice[1] or {})
+            else:
+                raise MappingError(
+                    f"portfolio arm must be a mapper name, a name/params "
+                    f"mapping, or a (name, params) pair, got {choice!r}"
+                )
+            if name == "portfolio":
+                raise MappingError("a portfolio arm cannot itself be 'portfolio'")
+            specs.append((str(name), params))
+        if len(specs) < 2:
+            raise MappingError(
+                f"a portfolio needs at least two arms, got {len(specs)}"
+            )
+        return specs
+
+    @staticmethod
+    def _build(specs: list[tuple[str, dict[str, object]]]) -> list[object]:
+        """Eagerly build every arm: bad names/params fail at construction."""
+        from ..portfolio.racing import ArmSpec
+        from .registry import get_mapper
+
+        return [
+            ArmSpec(name=name, params=params, mapper=get_mapper(name, **params))
+            for name, params in specs
+        ]
+
+    def _auto_arms(
+        self, clustered: ClusteredGraph, system: SystemGraph
+    ) -> list[object]:
+        """Arms for this instance's family key, mined from history."""
+        from ..portfolio.recommend import (
+            DEFAULT_ARMS,
+            arms_from_payload,
+            family_of,
+        )
+        from ..service.service import default_service
+
+        payload = default_service().recommend(
+            family_of(clustered.graph.name), family_of(system.name)
+        )
+        specs = (
+            arms_from_payload(payload, max_arms=self.max_auto_arms)
+            if payload
+            else []
+        )
+        named = {name for name, _params in specs}
+        for name, params in DEFAULT_ARMS:
+            if len(specs) >= 2:
+                break
+            if name not in named:
+                specs.append((name, dict(params)))
+        return self._build(specs)
+
+    def map(
+        self,
+        clustered: ClusteredGraph,
+        system: SystemGraph,
+        rng: int | np.random.Generator | None = None,
+    ) -> MapOutcome:
+        from ..portfolio.racing import race
+
+        with Stopwatch() as sw:
+            arm_specs = (
+                self._arms
+                if self._arms is not None
+                else self._auto_arms(clustered, system)
+            )
+            result = race(
+                clustered,
+                system,
+                arm_specs,
+                rng=rng,
+                objective=self.objective,
+                kill_ratio=self.kill_ratio,
+            )
+        win = result.outcome
+        killed = sum(1 for arm in result.arms if arm["status"] == "killed")
+        return MapOutcome(
+            mapper=self.name,
+            assignment=win.assignment,
+            total_time=win.total_time,
+            lower_bound=win.lower_bound,
+            evaluations=win.evaluations,
+            reached_lower_bound=win.reached_lower_bound,
+            wall_time=sw.elapsed,
+            extras={
+                "winner_arm": float(result.winner),
+                "arms_total": float(len(arm_specs)),
+                "arms_killed": float(killed),
+            },
+            portfolio={
+                "objective": self.objective,
+                "kill_ratio": self.kill_ratio,
+                "winner": {
+                    "arm": result.winner,
+                    "mapper": arm_specs[result.winner].name,
+                },
+                "arms": result.arms,
+            },
         )

@@ -143,6 +143,7 @@ def registry_listing(kind: str) -> dict[str, object]:
 
         {"kind": "mappers", "count": 8, "names": ["annealing", ...]}
     """
+    from ..lint import RULES
     from ..metrics import METRICS
     from .registry import MAPPERS
 
@@ -152,6 +153,7 @@ def registry_listing(kind: str) -> dict[str, object]:
         "workloads": WORKLOADS,
         "topologies": TOPOLOGIES,
         "metrics": METRICS,
+        "rules": RULES,
     }
     if kind not in registries:
         raise UnknownComponentError(

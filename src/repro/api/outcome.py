@@ -12,6 +12,7 @@ generation count, ...) survives in :attr:`MapOutcome.extras`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..core.assignment import Assignment
 from ..utils import MappingError
@@ -50,6 +51,14 @@ class MapOutcome:
         name.  Empty unless a caller asked for metrics (the sweep's
         ``metrics=[...]`` axis, the CLI's ``--metrics``).  Treat as
         read-only.
+    portfolio:
+        Racing diagnostics when the ``portfolio`` mapper produced this
+        outcome: the objective, the kill ratio, the winning arm, and a
+        per-arm audit trail (status, deterministic kill ordinal,
+        checkpoint count).  Empty for every other mapper.  Contains only
+        values that are a pure function of the arm configuration and
+        seeds, so records stay byte-identical across worker counts.
+        Treat as read-only.
     """
 
     mapper: str
@@ -61,6 +70,7 @@ class MapOutcome:
     wall_time: float
     extras: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, float] = field(default_factory=dict)
+    portfolio: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.lower_bound <= 0:

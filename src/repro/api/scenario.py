@@ -109,6 +109,17 @@ class Scenario:
                     f"keys, got {params!r}"
                 )
             object.__setattr__(self, axis, dict(params))
+        if self.mapper == "portfolio" and (
+            self.mapper_params.get("arms", "auto") == "auto"
+        ):
+            # A scenario run must be a pure function of its spec (sweep
+            # resume, service fingerprints); arms="auto" consults the
+            # service's mutable solve history, so it is rejected here.
+            raise ScenarioError(
+                "scenario axis 'mapper_params': portfolio scenarios need an "
+                "explicit 'arms' list; arms='auto' depends on recorded "
+                "history and cannot be part of a reproducible spec"
+            )
         if (
             not isinstance(self.replicas, int)
             or isinstance(self.replicas, bool)

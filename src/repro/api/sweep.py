@@ -390,6 +390,12 @@ def _make_record(
         record["outcome"]["metrics"] = {
             k: float(v) for k, v in sorted(outcome.metrics.items())
         }
+    if outcome.portfolio:
+        # Racing diagnostics (winner, per-arm kill ordinals) are a pure
+        # function of the arm configuration and seeds — deterministic
+        # at any worker count — so they belong in the record; the key
+        # only appears for portfolio scenarios, like metrics above.
+        record["outcome"]["portfolio"] = outcome.portfolio
     return record
 
 

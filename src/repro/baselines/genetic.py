@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.anytime import AnytimeReporter
 from ..core.assignment import Assignment
 from ..core.clustered import ClusteredGraph
 from ..core.incremental import DeltaEvaluator
@@ -76,8 +77,13 @@ def genetic_mapping(
     mutation_rate: float = 0.2,
     tournament: int = 3,
     lower_bound: int | None = None,
+    reporter: AnytimeReporter | None = None,
 ) -> GeneticResult:
-    """Evolve assignments on the total-time objective."""
+    """Evolve assignments on the total-time objective.
+
+    ``reporter`` (optional) gets one anytime checkpoint per generation
+    and may stop the run between generations with the best-so-far.
+    """
     if population < 2:
         raise ValueError("population must be >= 2")
     gen = as_rng(rng)
@@ -125,6 +131,10 @@ def genetic_mapping(
         idx = int(fitness.argmin())
         if fitness[idx] < best_time:
             best, best_time = pop[idx].copy(), int(fitness[idx])
+        if reporter is not None:
+            reporter.report(g, best_time, Assignment(best.copy()))
+            if reporter.should_stop():
+                break
 
     return GeneticResult(
         assignment=Assignment(best),

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.anytime import AnytimeReporter
 from ..core.assignment import Assignment
 from ..core.clustered import ClusteredGraph
 from ..core.incremental import DeltaEvaluator
@@ -41,6 +42,7 @@ def tabu_mapping(
     tenure: int | None = None,
     initial: Assignment | None = None,
     lower_bound: int | None = None,
+    reporter: AnytimeReporter | None = None,
 ) -> TabuResult:
     """Best-improvement tabu search over pairwise swaps.
 
@@ -48,6 +50,9 @@ def tabu_mapping(
     ----------
     tenure:
         Tabu tenure in iterations; defaults to ``ns // 2 + 1``.
+    reporter:
+        Optional anytime hook: one checkpoint per iteration, stoppable
+        between iterations with the best-so-far returned.
     """
     gen = as_rng(rng)
     n = system.num_nodes
@@ -88,6 +93,10 @@ def tabu_mapping(
         current_time = evaluator.swap(a, b)
         if current_time < best_time:
             best, best_time = evaluator.assignment, current_time
+        if reporter is not None:
+            reporter.report(it, best_time, best)
+            if reporter.should_stop():
+                break
 
     return TabuResult(
         assignment=best,

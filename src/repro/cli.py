@@ -13,7 +13,8 @@
     mimdmap map --tasks N --topology F --size K [--mapper M] [--metrics a,b]
     mimdmap compare [--mappers a,b,...]      # all registered mappers, one instance
     mimdmap sweep SPEC.json [--workers N] [--out results.jsonl]  # scenario grid
-    mimdmap list {mappers,clusterers,workloads,topologies,metrics} [--json]
+    mimdmap list {mappers,clusterers,workloads,topologies,metrics,rules} [--json]
+    mimdmap recommend --workload F --topology F --store F.jsonl  # learned default
     mimdmap serve [--port P] [--workers N] [--store F.jsonl]  # HTTP mapping service
     mimdmap serve --shard-index I --shard-count N [--queue-limit Q]  # fleet shard
     mimdmap gateway --shards host:port,host:port [--port P]  # fingerprint router
@@ -233,13 +234,57 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list", help="list one registry's component names")
     p.add_argument(
         "axis",
-        choices=["mappers", "clusterers", "workloads", "topologies", "metrics"],
+        choices=[
+            "mappers",
+            "clusterers",
+            "workloads",
+            "topologies",
+            "metrics",
+            "rules",
+        ],
         help="which registry to list",
     )
     p.add_argument(
         "--json",
         action="store_true",
         help="machine-readable listing (same shape as GET /registries/<kind>)",
+    )
+
+    p = sub.add_parser(
+        "recommend",
+        help="mine a result store for the learned-default mapper of a "
+        "(workload family, topology family) key",
+    )
+    p.add_argument(
+        "--workload",
+        required=True,
+        metavar="FAMILY",
+        help="workload family key, e.g. 'fft' or 'layered_random'",
+    )
+    p.add_argument(
+        "--topology",
+        required=True,
+        metavar="FAMILY",
+        help="topology family key, e.g. 'hypercube' (specs like "
+        "'hypercube:6' are reduced to their family)",
+    )
+    p.add_argument(
+        "--store",
+        required=True,
+        metavar="FILE",
+        help="the result store to mine (read-only: a live service can "
+        "keep writing to it)",
+    )
+    p.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=["auto", "jsonl", "sqlite"],
+        help="store backend (auto picks by suffix, like 'serve')",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable payload (same shape as GET /recommend)",
     )
 
     p = sub.add_parser(
@@ -396,6 +441,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_lint(args)
     elif command == "list":
         _run_list(args)
+    elif command == "recommend":
+        _run_recommend(args)
     elif command == "serve":
         _run_serve(args)
     elif command == "gateway":
@@ -826,6 +873,47 @@ def _run_list(args: argparse.Namespace) -> None:
     else:
         for name in listing["names"]:
             print(name)
+
+
+def _run_recommend(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from .portfolio.recommend import mine_records
+    from .service.backends import read_records
+    from .utils import MappingError
+
+    if not Path(args.store).exists():
+        raise _cli_error("recommend", f"store {args.store!r} does not exist")
+    try:
+        records = read_records(args.store, backend=args.store_backend)
+    except MappingError as exc:
+        raise _cli_error("recommend", str(exc)) from None
+    payload = mine_records(records, args.workload, args.topology)
+    if payload is None:
+        raise _cli_error(
+            "recommend",
+            f"no recorded history for workload={args.workload!r} "
+            f"topology={args.topology!r} in {args.store}",
+        )
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+        return
+    best = payload["recommendation"]
+    print(
+        f"{payload['workload']} x {payload['topology']} "
+        f"({payload['samples']} recorded solve(s)):"
+    )
+    for rank, entry in enumerate([best] + list(payload["alternatives"]), 1):
+        params = (
+            json.dumps(entry["params"], sort_keys=True) if entry["params"] else "{}"
+        )
+        print(
+            f"  {rank}. {entry['mapper']} params={params} "
+            f"mean%bound={entry['mean_percent_of_bound']:.2f} "
+            f"mean_wall={entry['mean_wall_time']:.4f}s "
+            f"samples={entry['samples']}"
+        )
 
 
 class _DrainRequested(Exception):

@@ -6,6 +6,7 @@ interpretation choices.
 """
 
 from .abstract import AbstractGraph
+from .anytime import AnytimeReporter, FileReporter, active_reporter, use_reporter
 from .assignment import Assignment, communication_matrix
 from .clustered import ClusteredGraph, Clustering
 from .critical import CriticalityAnalysis, analyze_criticality
@@ -39,7 +40,9 @@ from .validate import ScheduleViolation, verify_schedule, verify_times
 
 __all__ = [
     "AbstractGraph",
+    "AnytimeReporter",
     "Assignment",
+    "FileReporter",
     "ClusteredGraph",
     "Clustering",
     "CardinalityDelta",
@@ -60,6 +63,7 @@ __all__ = [
     "ScheduleViolation",
     "TaskGraph",
     "abstract_taskgraph",
+    "active_reporter",
     "analyze_criticality",
     "bottom_levels",
     "build_hierarchy",
@@ -76,6 +80,7 @@ __all__ = [
     "refine_pairwise",
     "refine_random",
     "total_time",
+    "use_reporter",
     "verify_schedule",
     "verify_times",
 ]

@@ -1,0 +1,135 @@
+"""Anytime checkpoints: let iterative mappers stream progress and be stopped.
+
+The portfolio racer (:mod:`repro.portfolio`) runs several mappers on the
+same instance at once and kills the losers early.  For that it needs two
+things from an iterative algorithm:
+
+* a stream of ``(iteration, best_metric, best_assignment)`` checkpoints
+  emitted at the algorithm's natural progress boundaries (a temperature
+  level, a tabu iteration, a GA generation, a refinement pass);
+* a cheap, cross-process way to ask the algorithm to stop gracefully and
+  return its best-so-far.
+
+:class:`AnytimeReporter` is that contract.  Algorithms take an optional
+``reporter`` argument and, when given one, call ``report(...)`` at each
+boundary and bail out when ``should_stop()`` turns true.  With no
+reporter (the default) they behave exactly as before — the hooks are
+pure pass-throughs, so a never-stopped run is bit-identical to an
+unhooked one.
+
+:class:`FileReporter` is the concrete implementation used across the
+``ProcessPoolExecutor`` boundary: checkpoints append to a JSONL file and
+the stop signal is a sentinel file, both of which survive pickling and
+work between unrelated processes.  A ``multiprocessing.Event`` would
+not: pool workers are long-lived and receive tasks by pickle, which
+events don't support.
+
+``use_reporter`` / ``active_reporter`` carry a reporter through layers
+that don't know about anytime reporting (the service's generic task
+runner calls ``mapper.map(...)`` with a fixed signature); the arm worker
+installs the reporter around the call and the adapter picks it up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Iterator, Protocol, runtime_checkable
+
+from .assignment import Assignment
+
+__all__ = [
+    "AnytimeReporter",
+    "FileReporter",
+    "active_reporter",
+    "use_reporter",
+]
+
+
+@runtime_checkable
+class AnytimeReporter(Protocol):
+    """What an iterative mapper needs to race: progress out, stop in."""
+
+    def report(
+        self, iteration: int, best_metric: float, best_assignment: Assignment
+    ) -> None:
+        """Record one checkpoint: best-so-far after ``iteration`` steps."""
+
+    def should_stop(self) -> bool:
+        """True when the algorithm should return its best-so-far now."""
+
+
+class FileReporter:
+    """Checkpoints as an append-only JSONL file, stop as a sentinel file.
+
+    Both ends are plain paths, so the reporter pickles into pool workers
+    and the controller process can follow the stream / raise the stop
+    flag without any shared in-memory state.  Each line is::
+
+        {"checkpoint": k, "iteration": it, "label": ..., "value": v,
+         "assignment": [...]}
+
+    ``checkpoint`` is the 1-based ordinal of the line — the racing
+    fold's clock.  ``label`` names what ``value`` measures (e.g.
+    ``"total_time"`` or ``"comm_volume"``), so the controller knows
+    whether it can use the value directly or must re-score the
+    serialized assignment under its own objective.
+    """
+
+    def __init__(self, checkpoint_path: str, stop_path: str, label: str) -> None:
+        self.checkpoint_path = checkpoint_path
+        self.stop_path = stop_path
+        self.label = label
+        self._count = 0
+
+    def report(
+        self, iteration: int, best_metric: float, best_assignment: Assignment
+    ) -> None:
+        self._count += 1
+        line = json.dumps(
+            {
+                "checkpoint": self._count,
+                "iteration": int(iteration),
+                "label": self.label,
+                "value": float(best_metric),
+                "assignment": [int(c) for c in best_assignment.assi.tolist()],
+            },
+            sort_keys=True,
+        )
+        # One write per line: POSIX appends of this size are atomic
+        # enough that the reader only ever sees whole lines plus at most
+        # one torn tail, which it tolerates.
+        with open(self.checkpoint_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    def should_stop(self) -> bool:
+        return os.path.exists(self.stop_path)
+
+    @property
+    def checkpoints_written(self) -> int:
+        return self._count
+
+
+_ACTIVE: list[AnytimeReporter] = []
+
+
+def active_reporter() -> AnytimeReporter | None:
+    """The reporter installed by the innermost :func:`use_reporter`, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def use_reporter(reporter: AnytimeReporter) -> Iterator[AnytimeReporter]:
+    """Install ``reporter`` as the process-wide active reporter.
+
+    Adapters whose ``map()`` signature cannot carry a reporter read it
+    back with :func:`active_reporter`.  Scoped as a stack so a nested
+    race (portfolio inside portfolio is rejected elsewhere, but defense
+    in depth is cheap) restores the outer reporter on exit.
+    """
+    _ACTIVE.append(reporter)
+    try:
+        yield reporter
+    finally:
+        _ACTIVE.pop()

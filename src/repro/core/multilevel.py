@@ -367,6 +367,7 @@ def refine_comm_volume(
     system: SystemGraph,
     assignment: Assignment,
     passes: int,
+    reporter=None,
 ) -> tuple[Assignment, int, int, int]:
     """KL/FM-style boundary refinement of one level's assignment.
 
@@ -391,7 +392,7 @@ def refine_comm_volume(
         )
     sym = graph.prob_edge + graph.prob_edge.T
     evaluator = CommVolumeDelta(sym, system, assignment)
-    return _pairwise_sweep(sym, system, evaluator, passes)
+    return _pairwise_sweep(sym, system, evaluator, passes, reporter)
 
 
 def _neighbor_lists(sym: np.ndarray) -> list[list[int]]:
@@ -409,10 +410,15 @@ def _pairwise_sweep(
     system: SystemGraph,
     evaluator: CommVolumeDelta,
     passes: int,
+    reporter=None,
 ) -> tuple[Assignment, int, int, int]:
     """The KL/FM sweep of :func:`refine_comm_volume` over any
     :class:`CommVolumeDelta` aggregate (default distances or a metric's
-    pair matrix)."""
+    pair matrix).
+
+    ``reporter`` (an optional
+    :class:`~repro.core.anytime.AnytimeReporter`) gets one checkpoint
+    per completed pass and may stop the sweep between passes."""
     n = sym.shape[0]
     if passes <= 0 or n < 2:
         return evaluator.assignment, evaluator.volume, 0, 0
@@ -437,6 +443,10 @@ def _pairwise_sweep(
                         break
                 if committed:
                     break  # c moved; revisit its other neighbors next pass
+        if reporter is not None:
+            reporter.report(probes, evaluator.volume, evaluator.assignment)
+            if reporter.should_stop():
+                break
         if not improved:
             break
     return evaluator.assignment, evaluator.volume, probes, swaps
@@ -448,6 +458,7 @@ def refine_metric(
     assignment: Assignment,
     passes: int,
     metric: str = "comm_volume",
+    reporter=None,
 ) -> tuple[Assignment, float, int, int]:
     """:func:`refine_comm_volume` generalized to any registered analytic
     metric as the objective.
@@ -467,7 +478,7 @@ def refine_metric(
     assignment.
     """
     if metric == "comm_volume":
-        return refine_comm_volume(graph, system, assignment, passes)
+        return refine_comm_volume(graph, system, assignment, passes, reporter)
     from ..metrics import METRICS  # deferred: repro.metrics imports repro.api
 
     m = METRICS.get(metric)
@@ -488,7 +499,9 @@ def refine_metric(
     pair = pair_fn(system) if pair_fn is not None else None
     if pair is not None:
         evaluator = CommVolumeDelta(sym, system, assignment, metric=pair)
-        refined, _, probes, swaps = _pairwise_sweep(sym, system, evaluator, passes)
+        refined, _, probes, swaps = _pairwise_sweep(
+            sym, system, evaluator, passes, reporter
+        )
         value = float(m.compute(level, system, refined)[metric])
         return refined, value, probes, swaps
 
@@ -519,6 +532,10 @@ def refine_metric(
                         break
                 if committed:
                     break
+        if reporter is not None:
+            reporter.report(probes, value, current)
+            if reporter.should_stop():
+                break
         if not improved:
             break
     return current, value, probes, swaps
@@ -570,6 +587,7 @@ def multilevel_map(
     refine_passes: int = 4,
     refine_metric: str = "comm_volume",
     rng=None,
+    reporter=None,
 ) -> MultilevelResult:
     """Coarsen, map the coarsest level with ``initial_mapper``, uncoarsen.
 
@@ -585,6 +603,12 @@ def multilevel_map(
     ``refine_metric`` selects the refinement objective by registry name;
     any analytic metric is accepted (see :func:`refine_metric`, the
     function this keyword shadows).
+
+    ``reporter`` (an optional
+    :class:`~repro.core.anytime.AnytimeReporter`) receives anytime
+    checkpoints from the *finest* level's refinement only — coarser
+    levels' assignments have the wrong size to be anyone's best-so-far
+    — and may stop that refinement between passes.
     """
     if refine_passes < 0:
         raise MappingError(f"refine_passes must be >= 0, got {refine_passes}")
@@ -612,7 +636,12 @@ def multilevel_map(
     for level in reversed(levels[:-1]):
         assignment = project_assignment(level, assignment)
         assignment, volume, level_probes, level_swaps = _refine_with_metric(
-            level.graph, level.system, assignment, refine_passes, refine_metric
+            level.graph,
+            level.system,
+            assignment,
+            refine_passes,
+            refine_metric,
+            reporter if level is levels[0] else None,
         )
         probes += level_probes
         swaps += level_swaps

@@ -1,0 +1,53 @@
+"""Portfolio racing and learned defaults over the mapping service.
+
+No single mapper dominates across workload/topology families, and the
+losers are pure waste when run to completion.  This package attacks the
+problem from both ends:
+
+* :mod:`~repro.portfolio.racing` — run K configured mappers ("arms") on
+  the same instance concurrently, follow their anytime checkpoints
+  (:mod:`repro.core.anytime`), and kill dominated arms early.  Kill
+  decisions are keyed to checkpoint ordinals — never wall-clock — so
+  the winner and the diagnostics are bit-reproducible at any worker
+  count; the winner's outcome is bit-identical to running it alone.
+* :mod:`~repro.portfolio.recommend` — mine the durable result store by
+  (workload family, topology family) for per-mapper quality/time stats
+  and serve the best configuration as a learned default (``GET
+  /recommend``, ``mimdmap recommend``, ``portfolio(arms="auto")``).
+
+The user-facing entry point is the registered ``portfolio`` mapper
+(:class:`repro.api.adapters.PortfolioAdapter`), which flows through the
+facade, scenarios, sweeps, and the service like any other mapper.
+"""
+
+from .racing import (
+    OBJECTIVES,
+    ArmSpec,
+    ObjectiveScorer,
+    RaceFold,
+    RaceResult,
+    arm_seeds,
+    race,
+)
+from .recommend import (
+    DEFAULT_ARMS,
+    arms_from_payload,
+    family_of,
+    merge_payloads,
+    mine_records,
+)
+
+__all__ = [
+    "DEFAULT_ARMS",
+    "OBJECTIVES",
+    "ArmSpec",
+    "ObjectiveScorer",
+    "RaceFold",
+    "RaceResult",
+    "arm_seeds",
+    "arms_from_payload",
+    "family_of",
+    "merge_payloads",
+    "mine_records",
+    "race",
+]

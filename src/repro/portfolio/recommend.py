@@ -1,0 +1,213 @@
+"""Learned defaults: mine the result store for per-family mapper stats.
+
+Every solve the service persists durably (scenario jobs, cached instance
+solves) can carry a small *meta* record — workload family, topology
+family, mapper name, mapper params.  This module turns that history into
+a recommendation: for a ``(workload family, topology family)`` key,
+which mapper configuration has delivered the best quality, and at what
+cost?
+
+Families are the leading identifier of a component name (``"fft"`` from
+``"fft"``, ``"hypercube"`` from ``"hypercube:6"``, ``"layered_random"``
+from a generated graph name), so differently-sized instances of the
+same shape pool their evidence.
+
+Candidates are grouped by ``(mapper, canonical params)`` and ranked by
+mean percent-of-bound (quality first), then mean wall time (cheapest of
+equals), then name — a deterministic total order.  The ranked list is
+served by ``GET /recommend`` and ``mimdmap recommend``, aggregated
+across shards by the gateway (:func:`merge_payloads`), and consumed by
+``portfolio(arms="auto")`` (:func:`arms_from_payload`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Iterable
+
+__all__ = [
+    "DEFAULT_ARMS",
+    "arms_from_payload",
+    "family_of",
+    "merge_payloads",
+    "mine_records",
+]
+
+#: The no-history fallback for ``portfolio(arms="auto")``: one cheap
+#: constructive arm, one refinement arm, one metaheuristic arm.
+DEFAULT_ARMS: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("critical", {}),
+    ("multilevel", {}),
+    ("annealing", {}),
+)
+
+_FAMILY = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def family_of(name: str) -> str:
+    """The leading identifier of a component name — its family key."""
+    match = _FAMILY.match(str(name))
+    return match.group(0) if match else str(name)
+
+
+def _canon(params: Any) -> str:
+    """Canonical JSON of a params dict — the grouping/merge key."""
+    try:
+        return json.dumps(params, sort_keys=True, separators=(",", ":"))
+    except TypeError:
+        return repr(params)
+
+
+def _rank_key(candidate: dict[str, Any]) -> tuple:
+    return (
+        candidate["mean_percent_of_bound"],
+        candidate["mean_wall_time"],
+        candidate["mapper"],
+        _canon(candidate["params"]),
+    )
+
+
+def _payload(
+    workload: str, topology: str, candidates: list[dict[str, Any]]
+) -> dict[str, Any]:
+    candidates.sort(key=_rank_key)
+    return {
+        "workload": workload,
+        "topology": topology,
+        "samples": sum(c["samples"] for c in candidates),
+        "recommendation": candidates[0],
+        "alternatives": candidates[1:],
+    }
+
+
+def mine_records(
+    records: Iterable[tuple[str, dict[str, Any], dict[str, Any] | None]],
+    workload: str,
+    topology: str,
+) -> dict[str, Any] | None:
+    """Aggregate store records matching the family key into a payload.
+
+    ``records`` yields ``(fingerprint, outcome dict, meta dict or
+    None)`` — :meth:`repro.service.store.ResultStore.iter_records`.
+    Records without meta (pre-meta stores, instance solves that bypassed
+    the family plumbing) are skipped; ``None`` means no evidence at all
+    (the HTTP layer's 404).
+    """
+    wf, tf = family_of(workload), family_of(topology)
+    groups: dict[tuple[str, str], dict[str, Any]] = {}
+    for _fingerprint, outcome, meta in records:
+        if not meta:
+            continue
+        if family_of(meta.get("workload", "")) != wf:
+            continue
+        if family_of(meta.get("topology", "")) != tf:
+            continue
+        mapper = meta.get("mapper") or outcome.get("mapper")
+        if not mapper:
+            continue
+        params = dict(meta.get("params") or {})
+        group = groups.setdefault(
+            (mapper, _canon(params)),
+            {"mapper": mapper, "params": params, "samples": 0, "pob": 0.0, "wall": 0.0},
+        )
+        total = float(outcome.get("total_time", 0))
+        bound = float(outcome.get("lower_bound", 0))
+        group["samples"] += 1
+        group["pob"] += 100.0 * total / bound if bound > 0 else 100.0
+        group["wall"] += float(outcome.get("wall_time", 0.0))
+    if not groups:
+        return None
+    candidates = [
+        {
+            "mapper": g["mapper"],
+            "params": g["params"],
+            "samples": g["samples"],
+            "mean_percent_of_bound": g["pob"] / g["samples"],
+            "mean_wall_time": g["wall"] / g["samples"],
+        }
+        for g in groups.values()
+    ]
+    return _payload(wf, tf, candidates)
+
+
+def merge_payloads(
+    payloads: Iterable[dict[str, Any] | None],
+) -> dict[str, Any] | None:
+    """Merge per-shard ``/recommend`` payloads into one fleet answer.
+
+    Candidates with the same ``(mapper, canonical params)`` combine via
+    sample-weighted means, so a shard with 100 observations outweighs a
+    shard with 2.  ``None``/empty payloads contribute nothing; all-empty
+    merges return ``None``.
+    """
+    merged: dict[tuple[str, str], dict[str, Any]] = {}
+    workload = topology = ""
+    for payload in payloads:
+        if not payload:
+            continue
+        workload = payload.get("workload", workload)
+        topology = payload.get("topology", topology)
+        candidates = [payload.get("recommendation")] + list(
+            payload.get("alternatives", [])
+        )
+        for c in candidates:
+            if not c:
+                continue
+            params = dict(c.get("params") or {})
+            group = merged.setdefault(
+                (c["mapper"], _canon(params)),
+                {
+                    "mapper": c["mapper"],
+                    "params": params,
+                    "samples": 0,
+                    "pob": 0.0,
+                    "wall": 0.0,
+                },
+            )
+            weight = max(1, int(c.get("samples", 1)))
+            group["samples"] += weight
+            group["pob"] += weight * float(c.get("mean_percent_of_bound", 100.0))
+            group["wall"] += weight * float(c.get("mean_wall_time", 0.0))
+    if not merged:
+        return None
+    candidates = [
+        {
+            "mapper": g["mapper"],
+            "params": g["params"],
+            "samples": g["samples"],
+            "mean_percent_of_bound": g["pob"] / g["samples"],
+            "mean_wall_time": g["wall"] / g["samples"],
+        }
+        for g in merged.values()
+    ]
+    return _payload(workload, topology, candidates)
+
+
+def arms_from_payload(
+    payload: dict[str, Any], max_arms: int = 3
+) -> list[tuple[str, dict[str, Any]]]:
+    """Turn a recommendation payload into a portfolio arm list.
+
+    Takes the top-ranked distinct configurations (``portfolio`` itself
+    excluded — a race must not nest a race), at most ``max_arms``.  The
+    caller pads with :data:`DEFAULT_ARMS` when history alone yields
+    fewer than two arms.
+    """
+    arms: list[tuple[str, dict[str, Any]]] = []
+    seen: set[tuple[str, str]] = set()
+    candidates = [payload.get("recommendation")] + list(
+        payload.get("alternatives", [])
+    )
+    for c in candidates:
+        if not c or c["mapper"] == "portfolio":
+            continue
+        params = dict(c.get("params") or {})
+        key = (c["mapper"], _canon(params))
+        if key in seen:
+            continue
+        seen.add(key)
+        arms.append((c["mapper"], params))
+        if len(arms) >= max_arms:
+            break
+    return arms

@@ -35,6 +35,7 @@ from .backends import (
     StoreBackend,
     StoreLockedError,
     open_backend,
+    read_records,
 )
 from .cache import OutcomeCache
 from .fingerprint import instance_fingerprint, scenario_fingerprint
@@ -77,6 +78,7 @@ __all__ = [
     "open_backend",
     "outcome_from_dict",
     "outcome_to_dict",
+    "read_records",
     "scenario_fingerprint",
     "set_default_service",
     "shard_for_fingerprint",

@@ -53,6 +53,7 @@ __all__ = [
     "StoreBackend",
     "StoreLockedError",
     "open_backend",
+    "read_records",
 ]
 
 #: Durability policies every backend understands (see module docstring).
@@ -97,7 +98,16 @@ class StoreBackend(Protocol):
         """Recover every durable ``fingerprint -> outcome dict`` record."""
         ...  # pragma: no cover - protocol
 
-    def append(self, fingerprint: str, outcome: dict[str, Any]) -> None:
+    def metas(self) -> dict[str, dict[str, Any]]:
+        """Recovered ``fingerprint -> meta dict`` records (subset of load)."""
+        ...  # pragma: no cover - protocol
+
+    def append(
+        self,
+        fingerprint: str,
+        outcome: dict[str, Any],
+        meta: dict[str, Any] | None = None,
+    ) -> None:
         """Persist one new record (the caller guarantees it is new)."""
         ...  # pragma: no cover - protocol
 
@@ -116,6 +126,7 @@ class JsonlBackend:
         self._sync = _check_sync(sync)
         self._fh: TextIO | None = None
         self._lock_fh: TextIO | None = None
+        self._metas: dict[str, dict[str, Any]] = {}
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._acquire_writer_lock()
 
@@ -178,7 +189,10 @@ class JsonlBackend:
                     ) from None
                 fingerprint = record.get("fingerprint")
                 outcome = record.get("outcome")
+                meta = record.get("meta")
                 if isinstance(fingerprint, str) and isinstance(outcome, dict):
+                    if fingerprint not in records and isinstance(meta, dict):
+                        self._metas[fingerprint] = meta
                     records.setdefault(fingerprint, outcome)
             if not terminated:
                 break
@@ -190,12 +204,21 @@ class JsonlBackend:
                     os.fsync(fh.fileno())
         return records
 
-    def append(self, fingerprint: str, outcome: dict[str, Any]) -> None:
+    def metas(self) -> dict[str, dict[str, Any]]:
+        return dict(self._metas)
+
+    def append(
+        self,
+        fingerprint: str,
+        outcome: dict[str, Any],
+        meta: dict[str, Any] | None = None,
+    ) -> None:
         if self._fh is None:
             self._fh = self._path.open("a")
-        self._fh.write(
-            dumps_record({"fingerprint": fingerprint, "outcome": outcome}) + "\n"
-        )
+        record: dict[str, Any] = {"fingerprint": fingerprint, "outcome": outcome}
+        if meta:
+            record["meta"] = meta
+        self._fh.write(dumps_record(record) + "\n")
         self._fh.flush()
         if self._sync == "always":
             os.fsync(self._fh.fileno())
@@ -224,6 +247,7 @@ class SqliteBackend:
 
         self._path = Path(path)
         self._sync = _check_sync(sync)
+        self._metas: dict[str, dict[str, Any]] = {}
         self._path.parent.mkdir(parents=True, exist_ok=True)
         # One connection per backend; the store serializes calls onto it.
         self._conn = sqlite3.connect(
@@ -236,8 +260,17 @@ class SqliteBackend:
             )
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS results ("
-                "fingerprint TEXT PRIMARY KEY, outcome TEXT NOT NULL)"
+                "fingerprint TEXT PRIMARY KEY, outcome TEXT NOT NULL, "
+                "meta TEXT)"
             )
+            # Stores created before the meta column existed migrate in
+            # place; ADD COLUMN with no default is metadata-only.
+            columns = {
+                row[1]
+                for row in self._conn.execute("PRAGMA table_info(results)")
+            }
+            if "meta" not in columns:
+                self._conn.execute("ALTER TABLE results ADD COLUMN meta TEXT")
             self._conn.commit()
         except sqlite3.DatabaseError as exc:
             self._conn.close()
@@ -255,15 +288,16 @@ class SqliteBackend:
         records: dict[str, dict[str, Any]] = {}
         try:
             rows = self._conn.execute(
-                "SELECT fingerprint, outcome FROM results"
+                "SELECT fingerprint, outcome, meta FROM results"
             ).fetchall()
         except sqlite3.DatabaseError as exc:
             raise MappingError(
                 f"{self._path} is not a readable SQLite result store: {exc}"
             ) from None
-        for fingerprint, blob in rows:
+        for fingerprint, blob, meta_blob in rows:
             try:
                 outcome = json.loads(blob)
+                meta = json.loads(meta_blob) if meta_blob else None
             except ValueError as exc:
                 raise GraphError(
                     f"{self._path}: stored outcome for {fingerprint!r} is not "
@@ -271,14 +305,29 @@ class SqliteBackend:
                 ) from None
             if isinstance(fingerprint, str) and isinstance(outcome, dict):
                 records[fingerprint] = outcome
+                if isinstance(meta, dict):
+                    self._metas[fingerprint] = meta
         return records
 
-    def append(self, fingerprint: str, outcome: dict[str, Any]) -> None:
+    def metas(self) -> dict[str, dict[str, Any]]:
+        return dict(self._metas)
+
+    def append(
+        self,
+        fingerprint: str,
+        outcome: dict[str, Any],
+        meta: dict[str, Any] | None = None,
+    ) -> None:
         # INSERT OR IGNORE keeps first-write-wins across *processes* too:
         # two shards recomputing the same pure result cannot conflict.
         self._conn.execute(
-            "INSERT OR IGNORE INTO results (fingerprint, outcome) VALUES (?, ?)",
-            (fingerprint, dumps_record(outcome)),
+            "INSERT OR IGNORE INTO results (fingerprint, outcome, meta) "
+            "VALUES (?, ?, ?)",
+            (
+                fingerprint,
+                dumps_record(outcome),
+                dumps_record(meta) if meta else None,
+            ),
         )
         self._conn.commit()
 
@@ -305,6 +354,80 @@ def open_backend(
         return JsonlBackend(path, sync=sync)
     if backend == "sqlite":
         return SqliteBackend(path, sync=sync)
+    raise MappingError(
+        f"unknown store backend {backend!r}; choose from auto, jsonl, sqlite"
+    )
+
+
+def read_records(
+    path: str | Path, *, backend: str = "auto"
+) -> list[tuple[str, dict[str, Any], dict[str, Any] | None]]:
+    """Read ``(fingerprint, outcome, meta)`` records without writing.
+
+    Unlike :func:`open_backend`, this never takes the JSONL writer lock,
+    never truncates a torn tail (a partial final line is just skipped),
+    and opens SQLite read-only — so a live service's store can be mined
+    (``mimdmap recommend``) while the service keeps appending.
+    """
+    path = Path(path)
+    if backend == "auto":
+        backend = "sqlite" if path.suffix.lower() in _SQLITE_SUFFIXES else "jsonl"
+    records: list[tuple[str, dict[str, Any], dict[str, Any] | None]] = []
+    if backend == "jsonl":
+        if not path.exists():
+            return records
+        for line in path.read_bytes().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a live writer (or garbage line)
+            if not isinstance(record, dict):
+                continue
+            fingerprint = record.get("fingerprint")
+            outcome = record.get("outcome")
+            meta = record.get("meta")
+            if isinstance(fingerprint, str) and isinstance(outcome, dict):
+                records.append(
+                    (fingerprint, outcome, meta if isinstance(meta, dict) else None)
+                )
+        return records
+    if backend == "sqlite":
+        import sqlite3
+
+        if not path.exists():
+            return records
+        try:
+            conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True, timeout=30.0)
+        except sqlite3.DatabaseError as exc:  # pragma: no cover - open race
+            raise MappingError(
+                f"{path} is not a readable SQLite result store: {exc}"
+            ) from None
+        try:
+            columns = {row[1] for row in conn.execute("PRAGMA table_info(results)")}
+            select = (
+                "SELECT fingerprint, outcome, meta FROM results"
+                if "meta" in columns
+                else "SELECT fingerprint, outcome, NULL FROM results"
+            )
+            for fingerprint, blob, meta_blob in conn.execute(select):
+                try:
+                    outcome = json.loads(blob)
+                    meta = json.loads(meta_blob) if meta_blob else None
+                except ValueError:
+                    continue
+                if isinstance(fingerprint, str) and isinstance(outcome, dict):
+                    records.append(
+                        (fingerprint, outcome, meta if isinstance(meta, dict) else None)
+                    )
+        except sqlite3.DatabaseError as exc:
+            raise MappingError(
+                f"{path} is not a readable SQLite result store: {exc}"
+            ) from None
+        finally:
+            conn.close()
+        return records
     raise MappingError(
         f"unknown store backend {backend!r}; choose from auto, jsonl, sqlite"
     )

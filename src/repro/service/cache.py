@@ -75,13 +75,22 @@ class OutcomeCache:
             self.misses += 1
         return None
 
-    def put(self, fingerprint: str, outcome: MapOutcome) -> None:
-        """Record a completed computation in both layers."""
+    def put(
+        self,
+        fingerprint: str,
+        outcome: MapOutcome,
+        meta: dict | None = None,
+    ) -> None:
+        """Record a completed computation in both layers.
+
+        ``meta`` (family/mapper context for the recommender) only
+        matters to the durable store; the LRU ignores it.
+        """
         with self._lock:
             self.stores += 1
             self._insert(fingerprint, outcome)
         if self._store is not None:
-            self._store.put(fingerprint, outcome)
+            self._store.put(fingerprint, outcome, meta)
 
     def _insert(self, fingerprint: str, outcome: MapOutcome) -> None:
         self._lru[fingerprint] = outcome

@@ -14,6 +14,11 @@ never blocks polling):
 * ``GET /registries/<kind>`` — the same listing as
   ``mimdmap list <kind> --json`` (one shared serialization).
 * ``GET /health`` — service stats (pool, cache hit rates, job counts).
+* ``GET /stats`` — the same :meth:`MappingService.stats` snapshot under
+  its canonical name (``/health`` remains the liveness alias).
+* ``GET /recommend?workload=<family>&topology=<family>`` — the learned
+  default mined from this shard's store
+  (:meth:`MappingService.recommend`); ``404`` when no history matches.
 
 Run it with ``mimdmap serve`` (see :mod:`repro.cli`) or embed it::
 
@@ -32,7 +37,7 @@ import json
 import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from ..utils import MappingError
 from .service import MappingService, ServiceSaturatedError, WrongShardError
@@ -94,8 +99,26 @@ class _Handler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path.rstrip("/")
         parts = [p for p in path.split("/") if p]
         service = self.server.service
-        if parts == ["health"] or not parts:
+        if parts == ["health"] or parts == ["stats"] or not parts:
             self._send(200, service.stats())
+        elif parts == ["recommend"]:
+            query = parse_qs(urlsplit(self.path).query)
+            workload = (query.get("workload") or [""])[0]
+            topology = (query.get("topology") or [""])[0]
+            if not workload or not topology:
+                self._error(
+                    400, "recommend needs 'workload' and 'topology' query params"
+                )
+                return
+            payload = service.recommend(workload, topology)
+            if payload is None:
+                self._error(
+                    404,
+                    f"no recorded history for workload={workload!r} "
+                    f"topology={topology!r}",
+                )
+            else:
+                self._send(200, payload)
         elif parts == ["jobs"]:
             self._send(
                 200,

@@ -104,6 +104,21 @@ def _execute_solve(task: _SolveTask):
     return task.mapper.map(task.clustered, task.system, rng=task.seed)
 
 
+def _instance_meta(
+    clustered: ClusteredGraph, system: SystemGraph, mapper: str, params
+) -> dict[str, Any]:
+    """The recommender's context for one instance solve: family keys plus
+    the mapper configuration that produced the result."""
+    from ..portfolio.recommend import family_of
+
+    return {
+        "workload": family_of(clustered.graph.name),
+        "topology": family_of(system.name),
+        "mapper": mapper,
+        "params": dict(params),
+    }
+
+
 def _execute_scenario(task: _ScenarioTask):
     """Worker entry point for scenario jobs.
 
@@ -128,6 +143,9 @@ class Job:
         self.id = job_id
         self.fingerprint = fingerprint
         self.cached = cached
+        # Family/mapper context stored alongside the result for the
+        # recommender (see MappingService.recommend); never keyed on.
+        self.meta: dict[str, Any] | None = None
         self._future: Future = Future()
         # The pool-side future, when this job is executing remotely; lets
         # ``status`` distinguish queued from actually-running work.
@@ -400,7 +418,11 @@ class MappingService:
         outcome = _execute_solve(_SolveTask(clustered, system, built, _as_seed(rng)))
         self._count_execution()
         if fingerprint is not None:
-            self.cache.put(fingerprint, outcome)
+            self.cache.put(
+                fingerprint,
+                outcome,
+                _instance_meta(clustered, system, str(mapper), params),
+            )
         return outcome
 
     # -- async jobs -----------------------------------------------------
@@ -418,7 +440,12 @@ class MappingService:
         clustered = ClusteredGraph(graph, clustering)
         built, fingerprint = self._prepare(clustered, system, mapper, rng, params)
         task = _SolveTask(clustered, system, built, _as_seed(rng))
-        return self._submit_task(fingerprint, _execute_solve, task)
+        meta = (
+            _instance_meta(clustered, system, str(mapper), params)
+            if fingerprint is not None
+            else None
+        )
+        return self._submit_task(fingerprint, _execute_solve, task, meta=meta)
 
     def submit_scenario(self, scenario, replica: int = 0) -> Job:
         """Queue one sweep run (see :mod:`repro.api.sweep`) as an async job.
@@ -433,9 +460,21 @@ class MappingService:
             )
         fingerprint = scenario_fingerprint(scenario, replica)
         task = _ScenarioTask(scenario, replica)
-        return self._submit_task(fingerprint, _execute_scenario, task)
+        meta = {
+            "workload": scenario.workload,
+            "topology": scenario.topology.split(":")[0],
+            "mapper": scenario.mapper,
+            "params": dict(scenario.mapper_params),
+        }
+        return self._submit_task(fingerprint, _execute_scenario, task, meta=meta)
 
-    def _submit_task(self, fingerprint: str | None, execute: Callable, task) -> Job:
+    def _submit_task(
+        self,
+        fingerprint: str | None,
+        execute: Callable,
+        task,
+        meta: dict[str, Any] | None = None,
+    ) -> Job:
         with self._lock:
             if self._closed:
                 raise MappingError("MappingService is closed")
@@ -469,12 +508,14 @@ class MappingService:
                     return job
                 self._admit_locked()
                 job = Job(self._next_id(), fingerprint)
+                job.meta = meta
                 self._register_locked(job)
                 self._inflight[fingerprint] = job
         else:
             with self._lock:
                 self._admit_locked()
                 job = Job(self._next_id(), fingerprint)
+                job.meta = meta
                 self._register_locked(job)
         try:
             job._backing = self.executor().submit(execute, task)
@@ -522,7 +563,7 @@ class MappingService:
                 job._future.set_result(future.result())
                 if job.fingerprint is not None:
                     try:
-                        self.cache.put(job.fingerprint, future.result())
+                        self.cache.put(job.fingerprint, future.result(), job.meta)
                     # Best-effort cache fill: the job already resolved, and a
                     # persistence failure (full disk, torn store) must never
                     # turn a computed result into an error.
@@ -573,6 +614,11 @@ class MappingService:
 
         if isinstance(mapper, str):
             built = get_mapper(mapper, **params)
+            if not getattr(built, "cacheable", True):
+                # e.g. portfolio(arms="auto"): the arm list comes from
+                # recorded history, so the same inputs can legitimately
+                # produce different outcomes as the store grows.
+                return built, None
             if not isinstance(rng, int) or isinstance(rng, bool):
                 # None draws fresh entropy and a Generator carries hidden
                 # state — neither names a pure computation, so no caching.
@@ -613,6 +659,21 @@ class MappingService:
                 if time.monotonic() >= deadline:  # repro: allow[det_wall_clock]
                     return active
             time.sleep(0.02)
+
+    def recommend(self, workload: str, topology: str) -> dict[str, Any] | None:
+        """The learned default for a ``(workload, topology)`` family key.
+
+        Mines the durable store's records (every completed job that
+        carried family meta) and returns the recommendation payload of
+        :func:`repro.portfolio.recommend.mine_records` — or ``None``
+        when the service has no store or the store holds no evidence
+        for the key (the HTTP layer's 404).
+        """
+        if self._store is None:
+            return None
+        from ..portfolio.recommend import mine_records
+
+        return mine_records(self._store.iter_records(), workload, topology)
 
     def stats(self) -> dict[str, Any]:
         """One JSON-ready snapshot (the HTTP ``GET /health`` body).

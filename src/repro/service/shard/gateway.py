@@ -11,9 +11,13 @@ every routing decision follows deterministically:
   namespaced as ``s<shard>.<id>``), including 429 backpressure and its
   ``Retry-After`` header.
 * ``GET /jobs/<s<shard>.<id>>`` — route by the id's shard prefix.
-* ``GET /jobs`` and ``GET /health`` — fan out to every shard and
-  aggregate; unreachable shards degrade the fleet's status instead of
-  failing the request.
+* ``GET /jobs``, ``GET /health``, and ``GET /stats`` — fan out to every
+  shard and aggregate; unreachable shards degrade the fleet's status
+  instead of failing the request.
+* ``GET /recommend?workload=...&topology=...`` — fan out, then merge
+  the per-shard recommendation payloads sample-weighted
+  (:func:`repro.portfolio.recommend.merge_payloads`); ``404`` when no
+  shard holds matching history.
 * ``GET /registries/<kind>`` — answered by the first reachable shard
   (every shard serves the same registries).
 
@@ -176,6 +180,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         parts = [p for p in path.split("/") if p]
         if parts == ["health"] or not parts:
             self._health()
+        elif parts == ["stats"]:
+            self._stats()
+        elif parts == ["recommend"]:
+            self._recommend()
         elif parts == ["jobs"]:
             self._jobs_listing()
         elif len(parts) == 2 and parts[0] == "jobs":
@@ -277,6 +285,101 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._send(status, payload)
             return
         self._error(502, "no shard reachable for the registry listing")
+
+    def _stats(self) -> None:
+        """Fan ``GET /stats`` out to every shard and aggregate.
+
+        Same totals as ``/health`` (the shard body is the same service
+        snapshot), but under its canonical name and without the
+        liveness framing — per-shard entries carry ``stats`` instead of
+        ``health``.
+        """
+        shards: list[dict[str, Any]] = []
+        reachable = 0
+        totals = {
+            "executed": 0,
+            "jobs": 0,
+            "queue_depth": 0,
+            "queue_active": 0,
+            "store_records": 0,
+        }
+        for index, address in enumerate(self.server.shards):
+            entry: dict[str, Any] = {
+                "shard": index,
+                "address": address,
+                "slice": self.server.slices[index].to_dict(),
+            }
+            try:
+                status, payload, _ = self.server.forward(index, "GET", "/stats")
+            except ShardUnreachableError as exc:
+                entry["reachable"] = False
+                entry["error"] = str(exc)
+            else:
+                entry["reachable"] = status == 200
+                entry["stats"] = payload
+                if status == 200 and isinstance(payload, dict):
+                    reachable += 1
+                    totals["executed"] += payload.get("executed", 0)
+                    totals["jobs"] += payload.get("jobs", {}).get("total", 0)
+                    queue = payload.get("queue", {})
+                    totals["queue_depth"] += queue.get("depth", 0)
+                    totals["queue_active"] += queue.get("active", 0)
+                    store = payload.get("store") or {}
+                    totals["store_records"] += store.get("records", 0)
+            shards.append(entry)
+        self._send(
+            200,
+            {
+                "role": "gateway",
+                "shard_count": len(shards),
+                "reachable_shards": reachable,
+                "totals": totals,
+                "shards": shards,
+            },
+        )
+
+    def _recommend(self) -> None:
+        """Merge every shard's learned default into one fleet answer."""
+        from urllib.parse import parse_qs, urlencode
+
+        from ...portfolio.recommend import merge_payloads
+
+        query = parse_qs(urlsplit(self.path).query)
+        workload = (query.get("workload") or [""])[0]
+        topology = (query.get("topology") or [""])[0]
+        if not workload or not topology:
+            self._error(
+                400, "recommend needs 'workload' and 'topology' query params"
+            )
+            return
+        path = "/recommend?" + urlencode(
+            {"workload": workload, "topology": topology}
+        )
+        payloads: list[dict[str, Any] | None] = []
+        unreachable: list[int] = []
+        for index in range(len(self.server.shards)):
+            try:
+                status, payload, _ = self.server.forward(index, "GET", path)
+            except ShardUnreachableError:
+                unreachable.append(index)
+                continue
+            # A shard 404 just means no history there; anything else
+            # non-200 is equally no evidence from that shard.
+            payloads.append(payload if status == 200 else None)
+        merged = merge_payloads(payloads)
+        if merged is None:
+            self._error(
+                404,
+                f"no recorded history for workload={workload!r} "
+                f"topology={topology!r} on any reachable shard",
+            )
+            return
+        merged["shards"] = {
+            "total": len(self.server.shards),
+            "with_history": sum(1 for p in payloads if p),
+            "unreachable": unreachable,
+        }
+        self._send(200, merged)
 
     def _health(self) -> None:
         shards: list[dict[str, Any]] = []

@@ -50,6 +50,8 @@ def outcome_to_dict(outcome: MapOutcome) -> dict[str, Any]:
     }
     if outcome.metrics:
         data["metrics"] = {k: float(v) for k, v in sorted(outcome.metrics.items())}
+    if outcome.portfolio:
+        data["portfolio"] = outcome.portfolio
     return data
 
 
@@ -68,6 +70,7 @@ def outcome_from_dict(data: dict[str, Any]) -> MapOutcome:
             wall_time=float(data["wall_time"]),
             extras={k: float(v) for k, v in data.get("extras", {}).items()},
             metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            portfolio=dict(data.get("portfolio") or {}),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise MappingError(f"malformed stored outcome: {exc}") from None
@@ -115,6 +118,9 @@ class ResultStore:
         self._records: dict[str, dict[str, Any]] = (
             self._backend.load() if self._backend is not None else {}
         )
+        self._metas: dict[str, dict[str, Any]] = (
+            self._backend.metas() if self._backend is not None else {}
+        )
         self._lock = threading.Lock()
         self._closed = False
         self.recovered = len(self._records)
@@ -142,22 +148,45 @@ class ResultStore:
             data = self._records.get(fingerprint)
         return outcome_from_dict(data) if data is not None else None
 
-    def put(self, fingerprint: str, outcome: MapOutcome) -> bool:
+    def put(
+        self,
+        fingerprint: str,
+        outcome: MapOutcome,
+        meta: dict[str, Any] | None = None,
+    ) -> bool:
         """Store ``outcome``; returns False (and writes nothing) on a dup.
 
         First write wins: a fingerprint names one pure computation, so a
         duplicate can only be the same result recomputed.  A closed
         store refuses the write (returns False) rather than silently
-        reopening its file.
+        reopening its file.  ``meta`` rides along with the record —
+        family/mapper context the recommender mines
+        (:mod:`repro.portfolio.recommend`); it never affects lookups.
         """
         data = outcome_to_dict(outcome)
         with self._lock:
             if self._closed or fingerprint in self._records:
                 return False
             self._records[fingerprint] = data
+            if meta:
+                self._metas[fingerprint] = dict(meta)
             if self._backend is not None:
-                self._backend.append(fingerprint, data)
+                self._backend.append(fingerprint, data, meta)
         return True
+
+    def iter_records(
+        self,
+    ) -> list[tuple[str, dict[str, Any], dict[str, Any] | None]]:
+        """Snapshot of ``(fingerprint, outcome dict, meta or None)`` rows.
+
+        The recommender's mining input — taken under the lock, so a
+        concurrent ``put`` never tears the view.
+        """
+        with self._lock:
+            return [
+                (fp, data, self._metas.get(fp))
+                for fp, data in self._records.items()
+            ]
 
     def close(self) -> None:
         """Flush and close the backend; later ``put`` calls are refused."""

@@ -66,7 +66,8 @@ class TestRoutes:
         assert "cache" in payload and "jobs" in payload
 
     @pytest.mark.parametrize(
-        "kind", ["mappers", "clusterers", "workloads", "topologies", "metrics"]
+        "kind",
+        ["mappers", "clusterers", "workloads", "topologies", "metrics", "rules"],
     )
     def test_registries_match_cli_serialization(self, server, kind):
         status, payload = request(server, f"/registries/{kind}")
@@ -101,6 +102,69 @@ class TestRoutes:
         status, polled = request(server, f"/jobs/{posted['id']}?poll=1")
         assert status == 200
         assert polled["id"] == posted["id"]
+
+
+class TestStatsAndRecommend:
+    @pytest.fixture()
+    def stored_server(self, tmp_path):
+        """A short-lived server whose service persists results durably."""
+        service = MappingService(
+            max_workers=2,
+            cache_size=32,
+            store_path=str(tmp_path / "history.jsonl"),
+        )
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        yield httpd
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=10)
+        service.close()
+
+    def test_stats_route_mirrors_health(self, server):
+        status, payload = request(server, "/stats")
+        assert status == 200
+        assert {"workers", "cache", "jobs", "queue", "store"} <= set(payload)
+        status, health = request(server, "/health")
+        assert status == 200
+        assert set(payload) == set(health)
+
+    def test_recommend_requires_query_params(self, server):
+        status, payload = request(server, "/recommend")
+        assert status == 400
+        assert "query params" in payload["error"]
+        status, _ = request(server, "/recommend?workload=fft")
+        assert status == 400
+
+    def test_recommend_end_to_end_via_real_solves(self, stored_server):
+        # Empty history: an explicit 404, not an empty payload.
+        status, payload = request(
+            stored_server, "/recommend?workload=fft&topology=hypercube"
+        )
+        assert status == 404
+        assert "no recorded history" in payload["error"]
+
+        status, posted = request(stored_server, "/jobs", {"scenario": SCENARIO})
+        assert status == 202
+        assert poll_job(stored_server, posted["id"])["status"] == "done"
+
+        status, payload = request(
+            stored_server, "/recommend?workload=fft&topology=hypercube"
+        )
+        assert status == 200
+        assert payload["workload"] == "fft"
+        assert payload["topology"] == "hypercube"
+        assert payload["samples"] == 1
+        assert payload["recommendation"]["mapper"] == "critical"
+        assert payload["recommendation"]["samples"] == 1
+        assert payload["alternatives"] == []
+
+        # A different family key still has no evidence.
+        status, _ = request(
+            stored_server, "/recommend?workload=gnp&topology=hypercube"
+        )
+        assert status == 404
 
 
 class TestJobLifecycle:
