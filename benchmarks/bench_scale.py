@@ -1,0 +1,279 @@
+"""Scale benchmark: the array-native core on 100k-task instances.
+
+Times the full large-instance pipeline — layered random DAG generation,
+clustering, the lower bound, the multilevel mapper, and the makespan
+evaluation — at sizes far beyond the paper's 30-300 tasks, on the
+``hypercube:10`` (1024-processor) machine.  Everything runs on the CSR /
+schedule-plan fast paths: no O(n^2) matrix is ever materialized.
+
+Two modes:
+
+* default — one row per ``--sizes`` entry (10k-100k tasks), recording
+  ``benchmarks/results/bench_scale.txt``.
+* ``--smoke`` — the pinned CI instance (100k tasks on ``hypercube:10``)
+  plus a randomized python-vs-array backend equivalence sweep across
+  the topology registry (``DeltaEvaluator`` probe/apply/revert stacks
+  and ``CommVolumeDelta`` swap sequences must agree bit for bit; any
+  disagreement is a ``failures`` count that fails the CI gate).  With
+  ``--json-out FILE`` it emits the machine-readable report that
+  ``benchmarks/check_budgets.py`` checks against the ``scale`` entry in
+  ``benchmarks/budgets.json``.
+
+Run from the repo root::
+
+    python benchmarks/bench_scale.py                  # full table
+    python benchmarks/bench_scale.py --sizes 10000,100000
+    python benchmarks/bench_scale.py --smoke --json-out BENCH_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import build_topology, get_mapper
+from repro.clustering import RandomClusterer
+from repro.core import ClusteredGraph
+from repro.core.evaluate import total_time
+from repro.core.ideal import lower_bound
+from repro.core.incremental import CommVolumeDelta, DeltaEvaluator
+from repro.core.multilevel import abstract_taskgraph
+from repro.workloads import layered_random_dag
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_scale.txt"
+
+#: Topology specs for the backend-equivalence sweep (one per family of
+#: the registry exercised by the mapping tests; all sized so na = ns).
+EQUIVALENCE_TOPOLOGIES = [
+    "hypercube:4",
+    "mesh2d:4x4",
+    "torus2d:4x4",
+    "btree:3",
+    "ring:12",
+    "chordal:16x5",
+]
+
+
+def comm_volume(clustered, system, assignment) -> int:
+    """Hop-weighted communication volume, straight off the cross-edge
+    arrays (no dense matrix)."""
+    labels = clustered.clustering.labels
+    hosts = assignment.placement[labels]
+    srcs, dsts, _ = clustered.graph.edge_arrays()
+    w = clustered.cross_out_weights
+    return int((w * system.shortest[hosts[srcs], hosts[dsts]]).sum())
+
+
+def run_instance(num_tasks: int, topology: str, seed: int) -> dict:
+    """Time every stage of the large-instance pipeline once."""
+    t0 = time.perf_counter()
+    graph = layered_random_dag(num_tasks=num_tasks, rng=seed)
+    t1 = time.perf_counter()
+    system = build_topology(topology)
+    _ = system.shortest  # the all-pairs table, charged to setup
+    clustering = RandomClusterer(system.num_nodes).cluster(graph, rng=seed)
+    clustered = ClusteredGraph(graph, clustering)
+    t2 = time.perf_counter()
+    bound = lower_bound(clustered)
+    t3 = time.perf_counter()
+    mapper = get_mapper("multilevel")
+    outcome = mapper.map(clustered, system, rng=seed)
+    t4 = time.perf_counter()
+    makespan = total_time(clustered, system, outcome.assignment)
+    volume = comm_volume(clustered, system, outcome.assignment)
+    t5 = time.perf_counter()
+    return {
+        "tasks": num_tasks,
+        "edges": int(graph.num_edges),
+        "generate_seconds": t1 - t0,
+        "setup_seconds": t2 - t1,
+        "bound_seconds": t3 - t2,
+        "map_seconds": t4 - t3,
+        "eval_seconds": t5 - t4,
+        "lower_bound": int(bound),
+        "total_time": int(makespan),
+        "comm_volume": int(volume),
+    }
+
+
+def format_row(topology: str, row: dict) -> str:
+    return (
+        f"  {row['tasks']:>7} tasks ({row['edges']:>7} edges) on {topology}: "
+        f"gen={row['generate_seconds']:.2f}s setup={row['setup_seconds']:.2f}s "
+        f"bound={row['bound_seconds']:.2f}s map={row['map_seconds']:.2f}s "
+        f"eval={row['eval_seconds']:.2f}s | lb={row['lower_bound']} "
+        f"total={row['total_time']} comm={row['comm_volume']}"
+    )
+
+
+def _random_assignment(ns: int, rng: np.random.Generator):
+    from repro.core.assignment import Assignment
+
+    return Assignment.from_placement(rng.permutation(ns))
+
+
+def backend_equivalence(seed: int) -> tuple[int, int, int]:
+    """Randomized python-vs-array equivalence across the topology registry.
+
+    For each topology: one small layered instance, then a mixed sequence
+    of ``probe_swap`` / ``probe_move`` / ``apply_swap`` / ``revert`` /
+    ``swap`` / ``evaluate`` calls driven through a python-backend and an
+    array-backend :class:`DeltaEvaluator` in lockstep, plus a
+    :class:`CommVolumeDelta` swap walk on the abstract cluster graph.
+    Returns ``(cases, moves, failures)``; every mismatch of makespan,
+    comm volume, or placement counts as a failure.
+    """
+    rng = np.random.default_rng(seed)
+    cases = moves = failures = 0
+    for spec in EQUIVALENCE_TOPOLOGIES:
+        system = build_topology(spec)
+        ns = system.num_nodes
+        graph = layered_random_dag(30 * ns, rng=int(rng.integers(2**31)))
+        clustering = RandomClusterer(ns).cluster(graph, rng=int(rng.integers(2**31)))
+        clustered = ClusteredGraph(graph, clustering)
+        start = _random_assignment(ns, rng)
+        py = DeltaEvaluator(clustered, system, start, backend="python")
+        ar = DeltaEvaluator(clustered, system, start, backend="array")
+        depth = 0
+        for _ in range(120):
+            a, b = int(rng.integers(ns)), int(rng.integers(ns))
+            op = rng.integers(6)
+            if op == 0:
+                same = py.probe_swap(a, b) == ar.probe_swap(a, b)
+            elif op == 1:
+                same = py.probe_move(a, b) == ar.probe_move(a, b)
+            elif op == 2:
+                same = py.apply_swap(a, b) == ar.apply_swap(a, b)
+                depth += 1
+            elif op == 3 and depth:
+                same = py.revert() == ar.revert()
+                depth -= 1
+            elif op == 4:
+                same = py.swap(a, b) == ar.swap(a, b)
+                depth = 0
+            else:
+                other = _random_assignment(ns, rng)
+                same = py.evaluate(other) == ar.evaluate(other)
+                depth = 0
+            moves += 1
+            if not same:
+                failures += 1
+        if not (
+            py.total_time == ar.total_time
+            and py.comm_volume == ar.comm_volume
+            and np.array_equal(py.assignment.placement, ar.assignment.placement)
+            and ar.verify()
+        ):
+            failures += 1
+        # CommVolumeDelta walk on the abstract cluster graph.
+        ag = abstract_taskgraph(clustered)
+        sym = ag.prob_edge + ag.prob_edge.T
+        start = _random_assignment(ns, rng)
+        cv_py = CommVolumeDelta(sym, system, start, backend="python")
+        cv_ar = CommVolumeDelta(sym, system, start, backend="array")
+        for _ in range(80):
+            a, b = int(rng.integers(ns)), int(rng.integers(ns))
+            if a != b and cv_ar.supports_bulk:
+                bulk = cv_ar.delta_swaps(a, np.array([cv_ar.host(b)]))
+                if int(bulk[0]) != cv_py.delta_swap(a, b):
+                    failures += 1
+            if cv_py.swap(a, b) != cv_ar.swap(a, b):
+                failures += 1
+            moves += 1
+        cases += 1
+    return cases, moves, failures
+
+
+def full(sizes: list[int], topology: str, seed: int, record: bool) -> int:
+    report_lines = [
+        "Array-native core at scale (benchmarks/bench_scale.py)",
+        f"workload: layered_random, clusterer: random, mapper: multilevel, "
+        f"seed: {seed}",
+    ]
+    for size in sizes:
+        row = run_instance(size, topology, seed)
+        line = format_row(topology, row)
+        print(line)
+        report_lines.append(line)
+    if record:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text("\n".join(report_lines) + "\n")
+        print(f"[recorded -> {RESULTS_PATH}]")
+    return 0
+
+
+def smoke(tasks: int, topology: str, seed: int, json_out: str | None) -> int:
+    started = time.perf_counter()
+    row = run_instance(tasks, topology, seed)
+    print(format_row(topology, row))
+    cases, eq_moves, failures = backend_equivalence(seed)
+    elapsed = time.perf_counter() - started
+    print(
+        f"equivalence: {cases} topologies, {eq_moves} moves, "
+        f"{failures} failure(s); elapsed={elapsed:.2f}s"
+    )
+    if json_out is not None:
+        report = {
+            "bench": "scale",
+            "mode": "smoke",
+            "topology": topology,
+            "seed": seed,
+            "elapsed_seconds": elapsed,
+            "failures": failures,
+            "equivalence": {"cases": cases, "moves": eq_moves},
+            **row,
+        }
+        Path(json_out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[json report -> {json_out}]")
+    return 0 if failures == 0 else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="10000,30000,100000",
+        help="comma-separated task counts for the full table",
+    )
+    parser.add_argument(
+        "--topology", default="hypercube:10", help="topology spec (1024 nodes)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the pinned CI instance plus the backend-equivalence sweep",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=100_000, help="smoke-mode instance size"
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write a machine-readable smoke report for the CI budget gate",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true", help="do not write the results file"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke(args.tasks, args.topology, args.seed, args.json_out)
+    if args.json_out is not None:
+        parser.error("--json-out is a --smoke option (the CI gate input)")
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    if not sizes:
+        parser.error(f"--sizes needs at least one task count, got {args.sizes!r}")
+    return full(sizes, args.topology, args.seed, record=not args.no_record)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

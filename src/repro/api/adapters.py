@@ -42,7 +42,7 @@ from ..baselines.tabu import tabu_mapping
 from ..core.anytime import active_reporter
 from ..core.clustered import ClusteredGraph
 from ..core.evaluate import total_time
-from ..core.ideal import ideal_schedule
+from ..core.ideal import lower_bound
 from ..core.mapper import CriticalEdgeMapper
 from ..core.multilevel import multilevel_map
 from ..topology.base import SystemGraph
@@ -126,7 +126,7 @@ class RandomMappingAdapter:
         system: SystemGraph,
         rng: int | np.random.Generator | None = None,
     ) -> MapOutcome:
-        bound = ideal_schedule(clustered).total_time
+        bound = lower_bound(clustered)
         with Stopwatch() as sw:
             stats = average_random_mapping(
                 clustered, system, samples=self.samples, rng=rng
@@ -163,7 +163,7 @@ class BokhariAdapter:
         system: SystemGraph,
         rng: int | np.random.Generator | None = None,
     ) -> MapOutcome:
-        bound = ideal_schedule(clustered).total_time
+        bound = lower_bound(clustered)
         with Stopwatch() as sw:
             result = bokhari_mapping(
                 clustered,
@@ -200,7 +200,7 @@ class LeeAggarwalAdapter:
         system: SystemGraph,
         rng: int | np.random.Generator | None = None,
     ) -> MapOutcome:
-        bound = ideal_schedule(clustered).total_time
+        bound = lower_bound(clustered)
         with Stopwatch() as sw:
             result = lee_mapping(
                 clustered,
@@ -246,7 +246,7 @@ class _AnnealBase:
         system: SystemGraph,
         rng: int | np.random.Generator | None = None,
     ) -> MapOutcome:
-        bound = ideal_schedule(clustered).total_time
+        bound = lower_bound(clustered)
         with Stopwatch() as sw:
             result = anneal_mapping(
                 clustered,
@@ -309,7 +309,7 @@ class GeneticAdapter:
         system: SystemGraph,
         rng: int | np.random.Generator | None = None,
     ) -> MapOutcome:
-        bound = ideal_schedule(clustered).total_time
+        bound = lower_bound(clustered)
         with Stopwatch() as sw:
             result = genetic_mapping(
                 clustered,
@@ -418,7 +418,7 @@ class MultilevelAdapter:
         system: SystemGraph,
         rng: int | np.random.Generator | None = None,
     ) -> MapOutcome:
-        bound = ideal_schedule(clustered).total_time
+        bound = lower_bound(clustered)
         sub_outcomes: list[MapOutcome] = []
 
         def initial_mapper(
@@ -490,7 +490,7 @@ class TabuAdapter:
         system: SystemGraph,
         rng: int | np.random.Generator | None = None,
     ) -> MapOutcome:
-        bound = ideal_schedule(clustered).total_time
+        bound = lower_bound(clustered)
         with Stopwatch() as sw:
             result = tabu_mapping(
                 clustered,

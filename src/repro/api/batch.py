@@ -191,6 +191,20 @@ def solve_many(
     params:
         Forwarded to the mapper factory, identically for every instance
         (only valid with a mapper *name*).
+
+    >>> from repro.api import solve_many
+    >>> from repro.core import ClusteredGraph
+    >>> from repro.workloads import layered_random_dag
+    >>> from repro.clustering import RandomClusterer
+    >>> from repro.topology import hypercube
+    >>> g = layered_random_dag(num_tasks=20, rng=1)
+    >>> c = RandomClusterer(num_clusters=4).cluster(g, rng=1)
+    >>> clustered, system = ClusteredGraph(g, c), hypercube(2)
+    >>> outcomes = solve_many([(clustered, system)] * 2, mapper="random", seed=7)
+    >>> [o.mapper for o in outcomes]
+    ['random', 'random']
+    >>> outcomes[0].total_time >= outcomes[0].lower_bound
+    True
     """
     if isinstance(mapper, str):
         built = get_mapper(mapper, **params)
@@ -236,6 +250,19 @@ def compare(
     e.g. ``{"random": {"samples": 50}}``; an entry's own params override
     them key by key.  Returns one :class:`MapOutcome` per entry, in the
     order requested.
+
+    >>> from repro.api import compare
+    >>> from repro.core import ClusteredGraph
+    >>> from repro.workloads import layered_random_dag
+    >>> from repro.clustering import RandomClusterer
+    >>> from repro.topology import hypercube
+    >>> g = layered_random_dag(num_tasks=20, rng=1)
+    >>> c = RandomClusterer(num_clusters=4).cluster(g, rng=1)
+    >>> outcomes = compare(ClusteredGraph(g, c), hypercube(2),
+    ...                    mappers=["critical", ("random", {"samples": 5})],
+    ...                    seed=7)
+    >>> [o.mapper for o in outcomes]
+    ['critical', 'random']
     """
     from .registry import available_mappers
 

@@ -73,6 +73,19 @@ class Scenario:
         assignment and recorded alongside the outcome (see
         :mod:`repro.metrics`).  Empty = no extra metrics (the historical
         behavior, and the historical :meth:`key`).
+
+    Validation happens at construction and always names the bad axis:
+
+    >>> from repro.api import Scenario
+    >>> s = Scenario(workload="fft", workload_params={"points_log2": 3},
+    ...              topology="hypercube:2", mapper="tabu", seed=7)
+    >>> s.clustering            # axes not given fall back to defaults
+    'random'
+    >>> Scenario(workload="not_a_workload", topology="hypercube:2")
+    ... # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+        ...
+    repro.api.scenario.ScenarioError: scenario axis 'workload': ...
     """
 
     workload: str

@@ -207,6 +207,19 @@ def run_scenarios(
     service:
         An explicit :class:`repro.service.MappingService` to run on
         (default: the process-wide one).
+
+    >>> from repro.api import Scenario, run_scenarios
+    >>> scenarios = Scenario.grid(
+    ...     workload={"name": "diamond", "params": {"width": 3}},
+    ...     topology="hypercube:2",
+    ...     mapper=["critical", "random"],
+    ...     seed=7,
+    ... )
+    >>> result = run_scenarios(scenarios)
+    >>> len(result.records)
+    2
+    >>> sorted(r["scenario"]["mapper"] for r in result.records)
+    ['critical', 'random']
     """
     runs = [
         (scenario, replica)

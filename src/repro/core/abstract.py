@@ -31,18 +31,18 @@ class AbstractGraph:
         self._clustered = clustered
         na = clustered.num_clusters
         labels = clustered.clustering.labels
-        clus = clustered.clus_edge
 
         # Aggregate task-level clustered weights up to cluster pairs.  The
         # direction of problem edges is irrelevant at this level (the paper's
         # abstract graph is undirected), so accumulate both orientations.
-        weights = np.zeros((na, na), dtype=np.int64)
-        srcs, dsts = np.nonzero(clus)
-        for s, d in zip(srcs.tolist(), dsts.tolist()):
-            a, b = int(labels[s]), int(labels[d])
-            w = int(clus[s, d])
-            weights[a, b] += w
-            weights[b, a] += w
+        # One scattered add over the graph's CSR edge arrays — no dense
+        # task-pair matrix is ever touched.
+        srcs, dsts, _ = clustered.graph.edge_arrays()
+        cw = clustered.cross_out_weights
+        m = cw > 0
+        acc = np.zeros((na, na), dtype=np.int64)
+        np.add.at(acc, (labels[srcs[m]], labels[dsts[m]]), cw[m])
+        weights = acc + acc.T
         self._weights = weights
         self._abs_edge = (weights > 0).astype(np.int64)
         self._mca = weights.sum(axis=1).astype(np.int64)

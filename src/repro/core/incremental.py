@@ -41,6 +41,7 @@ from .abstract import AbstractGraph
 from .assignment import Assignment
 from .clustered import ClusteredGraph
 from .evaluate import total_time
+from .taskgraph import sweep_finish_times
 
 __all__ = [
     "CardinalityDelta",
@@ -95,12 +96,18 @@ class DeltaEvaluator:
         clustered: ClusteredGraph,
         system: SystemGraph,
         assignment: Assignment,
+        backend: str = "array",
     ) -> None:
+        if backend not in ("python", "array"):
+            raise MappingError(
+                f"backend must be 'python' or 'array', got {backend!r}"
+            )
         if clustered.num_clusters != system.num_nodes:
             raise MappingError(
                 f"{clustered.num_clusters} clusters cannot map onto "
                 f"{system.num_nodes} system nodes (na must equal ns)"
             )
+        self._backend = backend
         self._clustered = clustered
         self._system = system
         graph = clustered.graph
@@ -115,28 +122,52 @@ class DeltaEvaluator:
         self._topo = graph.topological_order
         self._topo_pos = np.empty(n, dtype=np.int64)
         self._topo_pos[self._topo] = np.arange(n)
+        # The per-move schedule repair runs on scalar Python structures in
+        # both backends: tasks have 2-3 predecessors on typical DAGs, where
+        # plain int arithmetic beats numpy's per-call overhead on tiny
+        # arrays by an order of magnitude — and the repair loop is the
+        # hottest path in the repo.  The backends differ in how that state
+        # (and the aggregates) is *built*: the python oracle walks the
+        # dense Fig. 19-a matrix, the array backend slices the CSR arrays
+        # and never materializes anything O(n^2).
+        self._dist_rows: list[list[int]] = self._dist.tolist()
+        self._sizes_l: list[int] = self._sizes.tolist()
+        self._members_l: list[list[int]] = [
+            clustered.clustering.members(c).tolist() for c in range(na)
+        ]
+        self._topo_l: list[int] = self._topo.tolist()
+        self._topo_pos_l: list[int] = self._topo_pos.tolist()
+        if backend == "python":
+            self._build_python(clustered, n, na)
+        else:
+            self._build_array(clustered, n, na)
+        w = self._w_pairs
+        self._abs_nbrs = [np.flatnonzero(w[c]) for c in range(na)]
+        self._abs_nbr_w = [w[c, self._abs_nbrs[c]] for c in range(na)]
+        self._iu = np.triu_indices(na, 1)
+        self._w_iu = w[self._iu]
+        # Per-processor load aggregate source: total task work per cluster.
+        self._cluster_work = clustered.clustering.load(graph)
+        self._end: list[int] = [0] * n
+        self._undo: list[tuple[int, int, list[tuple[int, int]], int, int]] = []
+        self._rebase(assignment)
+
+    def _build_python(self, clustered: ClusteredGraph, n: int, na: int) -> None:
+        """Oracle construction: dense clus_edge scans, exactly as before
+        the array backend existed."""
+        graph = self._graph
         clus = clustered.clus_edge
         preds = [graph.predecessors(t) for t in range(n)]
         succs = [graph.successors(t) for t in range(n)]
-        members = [clustered.clustering.members(c) for c in range(na)]
-        # The schedule recurrence runs on scalar Python structures: tasks
-        # have 2-3 predecessors on typical DAGs, where plain int arithmetic
-        # beats numpy's per-call overhead on tiny arrays by an order of
-        # magnitude — and the repair loop is the hottest path in the repo.
-        self._dist_rows: list[list[int]] = self._dist.tolist()
-        self._sizes_l: list[int] = self._sizes.tolist()
-        self._pred_l: list[list[int]] = [p.tolist() for p in preds]
-        self._pred_wl: list[list[int]] = [clus[preds[t], t].tolist() for t in range(n)]
-        self._succ_l: list[list[int]] = [s.tolist() for s in succs]
-        self._members_l: list[list[int]] = [m.tolist() for m in members]
-        self._topo_l: list[int] = self._topo.tolist()
-        self._topo_pos_l: list[int] = self._topo_pos.tolist()
+        self._pred_l = [p.tolist() for p in preds]
+        self._pred_wl = [clus[preds[t], t].tolist() for t in range(n)]
+        self._succ_l = [s.tolist() for s in succs]
         # Repair seeds per cluster: the cluster's members (their incoming
         # distances change when the cluster moves) plus the members'
         # successors (their incoming distances change too) — restricted to
         # tasks actually receiving inter-cluster communication, because a
         # zero-weight (intra-cluster) edge is distance-insensitive.
-        self._touch: list[list[int]] = []
+        self._touch = []
         for c in range(na):
             seen: set[int] = set()
             for t in self._members_l[c]:
@@ -148,19 +179,56 @@ class DeltaEvaluator:
             self._touch.append(sorted(seen, key=self._topo_pos_l.__getitem__))
         # Per-cluster-pair communication aggregates (both edge orientations
         # summed, as in AbstractGraph.weights) for O(deg) volume deltas.
-        w = np.zeros((na, na), dtype=np.int64)
+        w_pairs = np.zeros((na, na), dtype=np.int64)
         srcs, dsts = np.nonzero(clus)
-        np.add.at(w, (self._labels[srcs], self._labels[dsts]), clus[srcs, dsts])
-        w = w + w.T
-        self._abs_nbrs = [np.flatnonzero(w[c]) for c in range(na)]
-        self._abs_nbr_w = [w[c, self._abs_nbrs[c]] for c in range(na)]
-        self._iu = np.triu_indices(na, 1)
-        self._w_iu = w[self._iu]
-        # Per-processor load aggregate source: total task work per cluster.
-        self._cluster_work = clustered.clustering.load(graph)
-        self._end: list[int] = [0] * n
-        self._undo: list[tuple[int, int, list[tuple[int, int]], int, int]] = []
-        self._rebase(assignment)
+        np.add.at(w_pairs, (self._labels[srcs], self._labels[dsts]), clus[srcs, dsts])
+        self._w_pairs = w_pairs + w_pairs.T
+        self._plan_w: np.ndarray | None = None
+
+    def _build_array(self, clustered: ClusteredGraph, n: int, na: int) -> None:
+        """Array construction: the same scalar repair structures and pair
+        aggregates, built from CSR slices — no dense matrix is touched,
+        and the results are bit-identical to :meth:`_build_python`."""
+        graph = self._graph
+        labels = self._labels
+        in_ptr_l = graph.in_indptr.tolist()
+        in_src_l = graph.in_indices.tolist()
+        cin = clustered.cross_in_weights
+        cin_l = cin.tolist()
+        self._pred_l = [in_src_l[in_ptr_l[t] : in_ptr_l[t + 1]] for t in range(n)]
+        self._pred_wl = [cin_l[in_ptr_l[t] : in_ptr_l[t + 1]] for t in range(n)]
+        out_ptr_l = graph.out_indptr.tolist()
+        out_dst_l = graph.out_indices.tolist()
+        self._succ_l = [out_dst_l[out_ptr_l[t] : out_ptr_l[t + 1]] for t in range(n)]
+        # Repair seeds (see _build_python for the rationale): receivers of
+        # inter-cluster communication inside the cluster, plus cross-edge
+        # successors of members — assembled as (cluster, task) pairs,
+        # deduplicated, and ordered by topological position per cluster.
+        srcs, dsts, _ = graph.edge_arrays()
+        cout = clustered.cross_out_weights
+        cross = cout > 0
+        _, in_dst, _ = graph.in_edge_arrays()
+        recv_mask = np.zeros(n, dtype=bool)
+        recv_mask[in_dst[cin > 0]] = True
+        recv = np.flatnonzero(recv_mask)
+        cand_c = np.concatenate((labels[srcs[cross]], labels[recv]))
+        cand_t = np.concatenate((dsts[cross], recv))
+        if cand_t.size:
+            pair = np.unique(cand_c * np.int64(n) + cand_t)
+            uc, ut = pair // n, pair % n
+            order = np.lexsort((self._topo_pos[ut], uc))
+            uc, ut = uc[order], ut[order]
+            bounds = np.concatenate(
+                ([0], np.cumsum(np.bincount(uc, minlength=na)))
+            ).tolist()
+            ut_l = ut.tolist()
+            self._touch = [ut_l[bounds[c] : bounds[c + 1]] for c in range(na)]
+        else:
+            self._touch = [[] for _ in range(na)]
+        w_pairs = np.zeros((na, na), dtype=np.int64)
+        np.add.at(w_pairs, (labels[srcs[cross]], labels[dsts[cross]]), cout[cross])
+        self._w_pairs = w_pairs + w_pairs.T
+        self._plan_w = clustered.plan_weights()
 
     # ------------------------------------------------------------------
     # State properties
@@ -215,11 +283,23 @@ class DeltaEvaluator:
             )
         self._placement = assignment.placement.copy()
         self._assi = assignment.assi.copy()
-        self._hosts: list[int] = self._placement[self._labels].tolist()
+        hosts_arr = self._placement[self._labels]
+        self._hosts: list[int] = hosts_arr.tolist()
         self._load = np.zeros(self._system.num_nodes, dtype=np.int64)
         self._load[self._placement] = self._cluster_work
-        self._recompute_schedule()
-        self._makespan = max(self._end)
+        if self._backend == "array":
+            # Level sweep over the cached schedule plan: one gather plus a
+            # segmented max per level, bit-identical to the scalar pass.
+            plan = self._graph.schedule_plan()
+            cost = self._plan_w * self._dist[
+                hosts_arr[plan.src], hosts_arr[plan.dst]
+            ]
+            end = sweep_finish_times(plan, self._sizes, cost)
+            self._end = end.tolist()
+            self._makespan = int(end.max())
+        else:
+            self._recompute_schedule()
+            self._makespan = max(self._end)
         p = self._placement
         self._comm_volume = int(
             (self._w_iu * self._dist[p[self._iu[0]], p[self._iu[1]]]).sum()
@@ -451,7 +531,12 @@ class CommVolumeDelta:
         system: SystemGraph,
         assignment: Assignment,
         metric: np.ndarray | None = None,
+        backend: str = "array",
     ) -> None:
+        if backend not in ("python", "array"):
+            raise MappingError(
+                f"backend must be 'python' or 'array', got {backend!r}"
+            )
         weights = np.asarray(weights, dtype=np.int64)
         na = weights.shape[0]
         if weights.ndim != 2 or weights.shape[1] != na:
@@ -477,8 +562,21 @@ class CommVolumeDelta:
             if not np.array_equal(mat, mat.T):
                 raise MappingError("pair metric matrix must be symmetric")
             self._dist = np.ascontiguousarray(mat)
-        self._nbrs = [np.flatnonzero(weights[c]) for c in range(na)]
-        self._nbr_w = [weights[c, self._nbrs[c]] for c in range(na)]
+        if backend == "python":
+            # Oracle path: one flatnonzero scan per cluster row.
+            self._nbrs = [np.flatnonzero(weights[c]) for c in range(na)]
+            self._nbr_w = [weights[c, self._nbrs[c]] for c in range(na)]
+        else:
+            # Array path: a single nonzero pass split into per-row views —
+            # identical contents (nonzero is row-major, ascending per row).
+            srcs, dsts = np.nonzero(weights)
+            bounds = np.cumsum(np.bincount(srcs, minlength=na))[:-1]
+            self._nbrs = np.split(dsts, bounds)
+            self._nbr_w = np.split(weights[srcs, dsts], bounds)
+        self._backend = backend
+        self._weights = weights
+        self._gain: np.ndarray | None = None  # lazy gain table, see delta_swaps
+        self._gain_w: np.ndarray | None = None  # zero-diagonal weights for updates
         self._placement = assignment.placement.copy()
         self._assi = assignment.assi.copy()
         iu = np.triu_indices(na, 1)
@@ -501,6 +599,24 @@ class CommVolumeDelta:
         """Processor currently hosting ``cluster``."""
         return int(self._placement[cluster])
 
+    @property
+    def placement_view(self) -> np.ndarray:
+        """Live cluster -> processor array (mutated in place by swaps)."""
+        return self._placement
+
+    @property
+    def occupant_view(self) -> np.ndarray:
+        """Live processor -> cluster array (mutated in place by swaps)."""
+        return self._assi
+
+    @property
+    def supports_bulk(self) -> bool:
+        """Whether :meth:`delta_swaps` is available (array backend and an
+        integer metric, where the gain-table regrouping is exact)."""
+        return self._backend == "array" and bool(
+            np.issubdtype(self._dist.dtype, np.integer)
+        )
+
     def delta_swap(self, cluster_a: int, cluster_b: int) -> int:
         """Volume change if the two clusters swapped processors."""
         if cluster_a == cluster_b:
@@ -509,6 +625,60 @@ class CommVolumeDelta:
             self._placement, self._nbrs, self._nbr_w, self._dist, cluster_a, cluster_b
         )
 
+    def delta_swaps(self, cluster: int, procs: np.ndarray) -> np.ndarray:
+        """Vector of :meth:`delta_swap` values for swapping ``cluster``
+        with the occupant of each processor in ``procs``.
+
+        Bit-identical to the scalar probe (integer arithmetic, so the
+        gain-table regrouping below is exact) at O(1) per candidate after
+        a one-off O(na * ns) gain-table build; only valid when
+        :attr:`supports_bulk` is true and no entry of ``procs`` hosts
+        ``cluster`` itself.
+
+        The gain table is ``G[x, r] = sum_y w[x, y] * metric[p[y], r]``
+        (diagonal of ``w`` zeroed): the total metric cost of ``x``'s
+        edges if ``x`` sat on processor ``r``.  For a swap of ``c`` (on
+        ``pc``) with occupant ``o`` of ``q`` the standard QAP identity
+        gives ``delta = G[c, q] - G[c, pc] + G[o, pc] - G[o, q] +
+        w[c, o] * (metric[pc, q] + metric[q, pc] - metric[q, q] -
+        metric[pc, pc])`` — the correction term undoes G's inclusion of
+        the (c, o) edge, whose cost is unchanged by the swap.
+        """
+        if self._gain is None:
+            self._build_gain_table()
+        gain = self._gain
+        gw = self._gain_w
+        assert gain is not None and gw is not None
+        metric = self._dist
+        pc = int(self._placement[cluster])
+        occ = self._assi[procs]
+        w_co = gw[cluster, occ]
+        delta = gain[cluster, procs] - gain[cluster, pc]
+        delta += gain[occ, pc] - gain[occ, procs]
+        delta += w_co * (
+            metric[pc, procs] + metric[procs, pc]
+            - metric[procs, procs] - metric[pc, pc]
+        )
+        return delta
+
+    def _build_gain_table(self) -> None:
+        weights = self._weights.copy()
+        np.fill_diagonal(weights, 0)
+        rows = self._dist[self._placement]  # row y = metric[p[y]]
+        # Partial sums stay below 2^53 -> the float64 BLAS product is
+        # exact; otherwise fall back to the (slower) integer matmul.
+        bound = float(np.abs(weights).sum(axis=1).max(initial=0)) * float(
+            np.abs(rows).max(initial=0)
+        )
+        if bound < 2.0**53:
+            gain = np.rint(
+                weights.astype(np.float64) @ rows.astype(np.float64)
+            ).astype(np.int64)
+        else:  # pragma: no cover - astronomically weighted instances
+            gain = weights @ rows.astype(np.int64)
+        self._gain = gain
+        self._gain_w = weights
+
     def swap(self, cluster_a: int, cluster_b: int) -> int:
         """Commit a swap; returns the new volume."""
         if cluster_a == cluster_b:
@@ -516,6 +686,14 @@ class CommVolumeDelta:
         self._volume += self.delta_swap(cluster_a, cluster_b)
         p = self._placement
         pa, pb = int(p[cluster_a]), int(p[cluster_b])
+        if self._gain is not None:
+            # Rank-1 refresh: rows a and b of metric[p] changed.
+            gw = self._gain_w
+            assert gw is not None
+            self._gain += np.outer(
+                gw[:, cluster_a] - gw[:, cluster_b],
+                self._dist[pb] - self._dist[pa],
+            )
         p[cluster_a], p[cluster_b] = pb, pa
         self._assi[pa], self._assi[pb] = self._assi[pb], self._assi[pa]
         return self._volume

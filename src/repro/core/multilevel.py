@@ -63,7 +63,7 @@ from .abstract import AbstractGraph
 from .assignment import Assignment
 from .clustered import ClusteredGraph, Clustering
 from .incremental import CommVolumeDelta
-from .taskgraph import TaskGraph
+from .taskgraph import TaskGraph, _expand
 
 __all__ = [
     "Level",
@@ -119,11 +119,9 @@ def heavy_edge_matching(graph: TaskGraph, max_merges: int) -> list[tuple[int, in
     """
     if max_merges <= 0:
         return []
-    sym = graph.prob_edge + graph.prob_edge.T
-    srcs, dsts = np.nonzero(np.triu(sym, 1))
+    srcs, dsts, weights = _undirected_pairs(graph)
     if not srcs.size:
         return []
-    weights = sym[srcs, dsts]
     order = np.lexsort((dsts, srcs, -weights))
     matched = np.zeros(graph.num_tasks, dtype=bool)
     pairs: list[tuple[int, int]] = []
@@ -136,6 +134,28 @@ def heavy_edge_matching(graph: TaskGraph, max_merges: int) -> list[tuple[int, in
         if len(pairs) >= max_merges:
             break
     return pairs
+
+
+def _undirected_pairs(
+    graph: TaskGraph,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unique undirected edges ``(lo, hi, weight)`` sorted by ``(lo, hi)``.
+
+    Straight from the CSR edge arrays — equivalent to the nonzero pattern
+    of ``triu(prob_edge + prob_edge.T, 1)`` without building either dense
+    matrix (weights of coincident orientations are summed; a DAG cannot
+    contain a 2-cycle, so in practice each pair appears once).
+    """
+    srcs, dsts, w = graph.edge_arrays()
+    if not srcs.size:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    lo, hi = np.minimum(srcs, dsts), np.maximum(srcs, dsts)
+    order = np.lexsort((hi, lo))
+    lo, hi, w = lo[order], hi[order], w[order]
+    first = np.concatenate(([True], (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])))
+    starts = np.flatnonzero(first)
+    return lo[starts], hi[starts], np.add.reduceat(w, starts)
 
 
 def _merge_map(num_nodes: int, pairs: list[tuple[int, int]]) -> np.ndarray:
@@ -165,16 +185,24 @@ def contract_graph(
     node_map = _merge_map(n, pairs)
     nc = int(node_map.max()) + 1
     sizes = np.bincount(node_map, weights=graph.task_sizes, minlength=nc)
-    sym = graph.prob_edge + graph.prob_edge.T
-    srcs, dsts = np.nonzero(np.triu(sym, 1))
+    srcs, dsts, w = _undirected_pairs(graph)
     a, b = node_map[srcs], node_map[dsts]
-    w = sym[srcs, dsts]
     inside = a == b
     absorbed = int(w[inside].sum())
-    mat = np.zeros((nc, nc), dtype=np.int64)
     lo, hi = np.minimum(a[~inside], b[~inside]), np.maximum(a[~inside], b[~inside])
-    np.add.at(mat, (lo, hi), w[~inside])
-    coarse = TaskGraph(sizes.astype(np.int64), mat, name=f"{graph.name}/2")
+    w = w[~inside]
+    if lo.size:
+        # Aggregate parallel coarse edges without a dense nc x nc scatter.
+        order = np.lexsort((hi, lo))
+        lo, hi, w = lo[order], hi[order], w[order]
+        first = np.concatenate(
+            ([True], (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1]))
+        )
+        starts = np.flatnonzero(first)
+        lo, hi, w = lo[starts], hi[starts], np.add.reduceat(w, starts)
+    coarse = TaskGraph.from_edge_arrays(
+        sizes.astype(np.int64), lo, hi, w, name=f"{graph.name}/2"
+    )
     return coarse, node_map, absorbed
 
 
@@ -424,6 +452,10 @@ def _pairwise_sweep(
         return evaluator.assignment, evaluator.volume, 0, 0
 
     neighbor_lists = _neighbor_lists(sym)
+    if getattr(evaluator, "supports_bulk", False):
+        return _pairwise_sweep_bulk(
+            system, evaluator, neighbor_lists, passes, reporter
+        )
     probes = swaps = 0
     for _ in range(passes):
         improved = False
@@ -443,6 +475,66 @@ def _pairwise_sweep(
                         break
                 if committed:
                     break  # c moved; revisit its other neighbors next pass
+        if reporter is not None:
+            reporter.report(probes, evaluator.volume, evaluator.assignment)
+            if reporter.should_stop():
+                break
+        if not improved:
+            break
+    return evaluator.assignment, evaluator.volume, probes, swaps
+
+
+def _pairwise_sweep_bulk(
+    system: SystemGraph,
+    evaluator: CommVolumeDelta,
+    neighbor_lists: list[list[int]],
+    passes: int,
+    reporter=None,
+) -> tuple[Assignment, int, int, int]:
+    """Bit-identical bulk form of the scalar sweep above.
+
+    The scalar loop commits the *first* improving swap for each node
+    ``c`` and then moves on — so the placement is fixed while ``c``'s
+    whole candidate sequence (graph neighbors heaviest-first, each
+    host's processor neighborhood in order) is probed.  That makes the
+    sequence independent of the probe results: build it in one gather,
+    score every candidate with one :meth:`CommVolumeDelta.delta_swaps`
+    call, and the first negative entry is exactly the swap the scalar
+    loop would have committed (and its index recovers the probe count).
+    """
+    n = len(neighbor_lists)
+    nbr_arrs = [np.asarray(nbrs, dtype=np.int64) for nbrs in neighbor_lists]
+    rows = [system.neighbors(p) for p in range(system.num_nodes)]
+    adj_ptr = np.concatenate(
+        ([0], np.cumsum([row.size for row in rows]))
+    ).astype(np.int64)
+    adj_idx = np.concatenate(rows).astype(np.int64)
+    placement = evaluator.placement_view
+    assi = evaluator.occupant_view
+    probes = swaps = 0
+    for _ in range(passes):
+        improved = False
+        for c in range(n):
+            nbrs = nbr_arrs[c]
+            if not nbrs.size:
+                continue
+            hosts = placement[nbrs]
+            procs = adj_idx[_expand(adj_ptr[hosts], adj_ptr[hosts + 1])]
+            occ = assi[procs]
+            keep = occ != c
+            if not keep.all():
+                procs, occ = procs[keep], occ[keep]
+            if not procs.size:
+                continue
+            negative = evaluator.delta_swaps(c, procs) < 0
+            if negative.any():
+                first = int(np.argmax(negative))
+                probes += first + 1
+                evaluator.swap(c, int(occ[first]))
+                swaps += 1
+                improved = True
+            else:
+                probes += int(procs.size)
         if reporter is not None:
             reporter.report(probes, evaluator.volume, evaluator.assignment)
             if reporter.should_stop():

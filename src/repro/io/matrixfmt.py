@@ -81,6 +81,12 @@ def format_paper_matrices(matrices: PaperMatrices) -> str:
         format_matrix(matrices.sys_edge, "sys_edge (Fig. 21-a)", one_based=False),
         format_matrix(matrices.shortest, "shortest (Fig. 21-b)", one_based=False, blank_zeros=False),
         format_vector(matrices.deg, "deg (Fig. 21-c)", one_based=False),
+        format_matrix(
+            matrices.route_prev,
+            "route_prev (routing predecessors; ours, not in the paper)",
+            one_based=False,
+            blank_zeros=False,
+        ),
         format_matrix(matrices.i_edge, "i_edge (Fig. 22-a)"),
         format_vector(matrices.i_start, "i_start (Fig. 22-b)"),
         format_vector(matrices.i_end, "i_end (Fig. 22-b)"),

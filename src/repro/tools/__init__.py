@@ -1,0 +1,6 @@
+"""Repo maintenance tools (run with ``python -m repro.tools.<name>``).
+
+These are development-side scripts that ship with the package so CI can
+run them without a separate toolchain; they are not part of the mapping
+API surface.
+"""

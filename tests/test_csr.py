@@ -1,0 +1,202 @@
+"""CSR edge cases and python/array backend equivalence.
+
+The CSR :class:`~repro.core.TaskGraph` and the ``backend="array"``
+evaluators are only allowed to be *faster* than the scalar originals,
+never different.  This module pins the degenerate shapes (no edges,
+one task, disconnected components, duplicate edges) and formalizes the
+randomized backend-equivalence walks — including deep
+``apply_swap``/``revert`` undo stacks — as tier-1 tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import RandomClusterer
+from repro.core import (
+    Assignment,
+    ClusteredGraph,
+    DeltaEvaluator,
+    TaskGraph,
+    evaluate_assignment,
+)
+from repro.core.incremental import CommVolumeDelta
+from repro.topology import chain, hypercube, mesh2d, ring
+from repro.utils import GraphError
+from repro.workloads import layered_random_dag
+
+
+class TestCsrEdgeCases:
+    def test_edgeless_graph(self):
+        g = TaskGraph([1, 2, 3])
+        assert g.num_edges == 0
+        assert g.out_indptr.tolist() == [0, 0, 0, 0]
+        assert g.in_indptr.tolist() == [0, 0, 0, 0]
+        assert g.total_comm == 0
+        assert g.critical_path_length() == 3  # heaviest isolated task
+        assert sorted(g.sources().tolist()) == [0, 1, 2]
+        assert sorted(g.sinks().tolist()) == [0, 1, 2]
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph([])
+
+    def test_single_task(self):
+        g = TaskGraph([5])
+        assert g.num_tasks == 1
+        assert g.num_edges == 0
+        assert g.critical_path_length() == 5
+        assert g.sources().tolist() == [0]
+        assert g.sinks().tolist() == [0]
+        assert g.topological_order.tolist() == [0]
+
+    def test_disconnected_components(self):
+        # Two independent chains: 0 -> 1 and 2 -> 3.
+        g = TaskGraph([1, 1, 1, 1], [(0, 1, 2), (2, 3, 4)])
+        assert g.num_edges == 2
+        assert g.total_comm == 6
+        assert g.out_indptr.tolist() == [0, 1, 1, 2, 2]
+        assert g.in_indptr.tolist() == [0, 0, 1, 1, 2]
+        assert g.successors(1).size == 0
+        assert g.predecessors(2).size == 0
+        assert g.successors(0).tolist() == [1]
+        assert g.predecessors(3).tolist() == [2]
+        # Both components land in the schedule; neither hides the other.
+        assert g.critical_path_length() == 6
+
+    def test_duplicate_edge_rejected_by_triples(self):
+        with pytest.raises(GraphError, match="duplicate edge"):
+            TaskGraph([1, 1], [(0, 1, 2), (0, 1, 3)])
+
+    def test_duplicate_edge_rejected_by_edge_arrays(self):
+        with pytest.raises(GraphError, match="duplicate edge"):
+            TaskGraph.from_edge_arrays(
+                [1, 1],
+                np.array([0, 0]),
+                np.array([1, 1]),
+                np.array([2, 3]),
+            )
+
+    def test_disconnected_graph_evaluates_on_both_backends(self):
+        g = TaskGraph([2, 3, 1, 4], [(0, 1, 2), (2, 3, 4)])
+        clustering = RandomClusterer(num_clusters=2).cluster(g, rng=3)
+        clustered = ClusteredGraph(g, clustering)
+        system = chain(2)
+        assignment = Assignment.random(2, rng=0)
+        schedule = evaluate_assignment(clustered, system, assignment)
+        for backend in ("python", "array"):
+            ev = DeltaEvaluator(clustered, system, assignment, backend=backend)
+            assert ev.total_time == schedule.total_time
+            assert ev.verify()
+
+
+def _instance(system, seed):
+    graph = layered_random_dag(num_tasks=4 * system.num_nodes, rng=seed)
+    clustering = RandomClusterer(system.num_nodes).cluster(graph, rng=seed)
+    return ClusteredGraph(graph, clustering)
+
+
+SYSTEMS = [
+    ("hypercube", lambda: hypercube(3)),
+    ("mesh2d", lambda: mesh2d(3, 3)),
+    ("ring", lambda: ring(6)),
+]
+
+
+class TestBackendEquivalenceUnderRevert:
+    """Lockstep python-vs-array walks with deep apply/revert chains.
+
+    The walk interleaves probes and commits with speculative
+    ``apply_swap`` chains that are then fully unwound by ``revert()``,
+    so the undo stack itself is exercised on both backends at every
+    depth; after every operation all observable aggregates must agree
+    bit for bit.
+    """
+
+    @pytest.mark.parametrize("name,factory", SYSTEMS, ids=[n for n, _ in SYSTEMS])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lockstep_walk(self, name, factory, seed):
+        system = factory()
+        clustered = _instance(system, seed)
+        n = system.num_nodes
+        start = Assignment.random(n, rng=seed)
+        py = DeltaEvaluator(clustered, system, start, backend="python")
+        ar = DeltaEvaluator(clustered, system, start, backend="array")
+        gen = np.random.default_rng(900 + seed)
+        depth = 0
+        for step in range(60):
+            a, b = (int(x) for x in gen.choice(n, size=2, replace=False))
+            op = int(gen.integers(0, 5))
+            if op == 0:
+                assert py.probe_swap(a, b) == ar.probe_swap(a, b)
+            elif op == 1:
+                # A plain commit invalidates (clears) the undo stack.
+                assert py.swap(a, b) == ar.swap(a, b)
+                depth = 0
+            elif op == 2:
+                assert py.apply_swap(a, b) == ar.apply_swap(a, b)
+                depth += 1
+            elif op == 3 and depth:
+                assert py.revert() == ar.revert()
+                depth -= 1
+            else:
+                fresh = Assignment.random(n, rng=int(gen.integers(0, 2**31)))
+                assert py.evaluate(fresh) == ar.evaluate(fresh)
+                depth = 0
+            assert py.total_time == ar.total_time, f"{name} step {step}"
+            assert py.comm_volume == ar.comm_volume
+            assert np.array_equal(py.assignment.assi, ar.assignment.assi)
+        # Unwind whatever speculation is still open: both stacks must
+        # pop identically all the way down.
+        while depth:
+            assert py.revert() == ar.revert()
+            depth -= 1
+        assert py.verify() and ar.verify()
+        assert np.array_equal(py.end_times(), ar.end_times())
+        assert np.array_equal(py.loads(), ar.loads())
+
+    def test_revert_restores_across_full_stack(self):
+        system = hypercube(3)
+        clustered = _instance(system, seed=5)
+        n = system.num_nodes
+        start = Assignment.random(n, rng=5)
+        for backend in ("python", "array"):
+            ev = DeltaEvaluator(clustered, system, start, backend=backend)
+            before = (ev.total_time, ev.comm_volume, ev.assignment.assi.copy())
+            gen = np.random.default_rng(42)
+            pushes = 8
+            for _ in range(pushes):
+                a, b = (int(x) for x in gen.choice(n, size=2, replace=False))
+                ev.apply_swap(a, b)
+            for _ in range(pushes):
+                ev.revert()
+            assert ev.total_time == before[0]
+            assert ev.comm_volume == before[1]
+            assert np.array_equal(ev.assignment.assi, before[2])
+            assert ev.verify()
+
+
+class TestCommVolumeDeltaBulk:
+    """The gain-table batch path must match the scalar swap deltas."""
+
+    def test_delta_swaps_matches_scalar(self):
+        system = hypercube(3)
+        clustered = _instance(system, seed=2)
+        from repro.core import AbstractGraph
+
+        abstract = AbstractGraph(clustered)
+        assignment = Assignment.random(system.num_nodes, rng=2)
+        ev = CommVolumeDelta(abstract.abs_edge, system, assignment)
+        n = system.num_nodes
+        gen = np.random.default_rng(7)
+        for _ in range(10):
+            cluster = int(gen.integers(0, n))
+            procs = np.array(
+                [p for p in range(n) if int(ev.occupant_view[p]) != cluster],
+                dtype=np.int64,
+            )
+            bulk = ev.delta_swaps(cluster, procs)
+            for proc, delta in zip(procs.tolist(), bulk.tolist()):
+                other = int(ev.occupant_view[proc])
+                assert delta == ev.delta_swap(cluster, other)
+            a, b = (int(x) for x in gen.choice(n, size=2, replace=False))
+            ev.swap(a, b)

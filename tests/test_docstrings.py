@@ -1,0 +1,47 @@
+"""The public API's docstring examples must run (and stay current).
+
+Every example in the ``repro.api`` surface — ``solve``, ``solve_many``,
+``compare``, ``Scenario``, ``run_scenarios`` — is executed as a doctest
+here, so a signature change that would break the documented usage fails
+the suite instead of silently rotting in prose.
+"""
+
+import doctest
+
+import pytest
+
+import repro.api.batch
+import repro.api.facade
+import repro.api.scenario
+import repro.api.sweep
+
+MODULES = [
+    repro.api.facade,
+    repro.api.batch,
+    repro.api.scenario,
+    repro.api.sweep,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.IGNORE_EXCEPTION_DETAIL,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_public_surface_has_examples():
+    # The five documented entry points must each carry a runnable example.
+    surfaces = [
+        repro.api.facade.solve,
+        repro.api.batch.solve_many,
+        repro.api.batch.compare,
+        repro.api.scenario.Scenario,
+        repro.api.sweep.run_scenarios,
+    ]
+    for obj in surfaces:
+        examples = doctest.DocTestFinder().find(obj)
+        assert any(t.examples for t in examples), f"{obj.__name__} has no doctest"
